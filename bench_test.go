@@ -1,0 +1,305 @@
+package snapdyn
+
+// One testing.B benchmark per figure of the paper's evaluation, backed by
+// the drivers in internal/bench, plus ablation benches for the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure bench reports MUPS (millions of updates per second, the
+// paper's metric) for the headline series as a custom metric. The bench
+// scale is laptop-friendly (n = 2^14, m = 10n unless noted); use
+// cmd/snapbench to run larger instances and full worker sweeps.
+
+import (
+	"testing"
+
+	ibench "snapdyn/internal/bench"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/stream"
+	"snapdyn/internal/timing"
+)
+
+func benchConfig() ibench.Config {
+	return ibench.Config{Scale: 14, EdgeFactor: 10, TimeMax: 100, Seed: 1, Workers: []int{1, 2, 4}}
+}
+
+// reportBest attaches the best MUPS per series as custom metrics.
+func reportBest(b *testing.B, t *timing.Table) {
+	b.Helper()
+	for label, m := range t.BestMUPS() {
+		b.ReportMetric(m.MUPS(), label+"_MUPS")
+	}
+}
+
+func BenchmarkFig1InsertScaling(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig1InsertScaling(cfg, []int{10, 12, 14})
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig2ResizeOverhead(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig2ResizeOverhead(cfg)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig3Partitioning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig3Partitioning(cfg)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig4Insertions(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig4Insertions(cfg)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig5Deletions(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig5Deletions(cfg, 0.075)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig6Mixed(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig6Mixed(cfg)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig7LCTBuild(b *testing.B) {
+	cfg := benchConfig()
+	cfg.EdgeFactor = 8 // the paper's 10M/84M instance has m ≈ 8.4n
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig7LCTBuild(cfg)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig8Queries(b *testing.B) {
+	cfg := benchConfig()
+	cfg.EdgeFactor = 8
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig8Queries(cfg, 200_000)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig9Subgraph(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig9Subgraph(cfg)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig10BFS(b *testing.B) {
+	cfg := benchConfig()
+	cfg.EdgeFactor = 8
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig10BFS(cfg)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+func BenchmarkFig11TemporalBC(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 12 // BC is O(sources * m): keep the default run quick
+	for i := 0; i < b.N; i++ {
+		t := ibench.Fig11TemporalBC(cfg, 64)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationDegreeThresh sweeps the hybrid representation's
+// degree-thresh over a mixed workload, the design parameter the paper
+// tunes to 32.
+func BenchmarkAblationDegreeThresh(b *testing.B) {
+	cfg := benchConfig()
+	edges := mustEdges(b, cfg)
+	extraCfg := cfg
+	extraCfg.Seed += 99
+	extra := mustEdges(b, extraCfg)
+	ups, err := stream.Mixed(edges, extra, len(edges)/5, 0.5, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, thresh := range []int{8, 16, 32, 64, 128} {
+		b.Run(benchName("thresh", thresh), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := dyngraph.NewHybrid(1<<cfg.Scale, len(edges), thresh, 1)
+				dyngraph.InsertAll(s, 0, edges)
+				s.ApplyBatch(0, ups)
+			}
+			b.ReportMetric(float64(len(ups)), "updates")
+		})
+	}
+}
+
+// BenchmarkAblationInitialSize sweeps Dyn-arr's initial adjacency size
+// (the paper's k·m/n heuristic vs fixed sizes) over pure construction.
+func BenchmarkAblationInitialSize(b *testing.B) {
+	cfg := benchConfig()
+	edges := mustEdges(b, cfg)
+	ups := stream.Inserts(edges)
+	for _, init := range []int{1, 4, 16, 64} {
+		b.Run(benchName("init", init), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := dyngraph.NewDynArrInitial(1<<cfg.Scale, init, len(edges))
+				s.ApplyBatch(0, ups)
+			}
+		})
+	}
+	b.Run("init=2m_over_n", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := dyngraph.NewDynArr(1<<cfg.Scale, len(edges))
+			s.ApplyBatch(0, ups)
+		}
+	})
+}
+
+// BenchmarkAblationBatchVsStream compares per-update streaming against
+// semi-sorted batched application on the same store.
+func BenchmarkAblationBatchVsStream(b *testing.B) {
+	cfg := benchConfig()
+	edges := mustEdges(b, cfg)
+	ups := stream.Inserts(edges)
+	b.Run("streamed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := dyngraph.NewDynArr(1<<cfg.Scale, len(edges))
+			s.ApplyBatch(0, ups)
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := dyngraph.NewBatched(dyngraph.NewDynArr(1<<cfg.Scale, len(edges)))
+			s.ApplyBatch(0, ups)
+		}
+	})
+}
+
+// BenchmarkAblationLockFreeInserts compares the spinlock-protected
+// fixed-capacity array (Dyn-arr-nr) against the true lock-free variant
+// (atomic slot claim + atomic publish), quantifying the paper's
+// "lock-free, non-blocking insertions" claim under contention.
+func BenchmarkAblationLockFreeInserts(b *testing.B) {
+	cfg := benchConfig()
+	edges := mustEdges(b, cfg)
+	ups := stream.Inserts(edges)
+	degrees := make([]int, 1<<cfg.Scale)
+	for _, e := range edges {
+		degrees[e.U]++
+	}
+	b.Run("spinlock", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := dyngraph.NewDynArrNoResize(degrees)
+			s.ApplyBatch(0, ups)
+		}
+	})
+	b.Run("lockfree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := dyngraph.NewLockFreeArr(degrees)
+			s.ApplyBatch(0, ups)
+		}
+	})
+}
+
+// BenchmarkSSSPDeltaStepping measures weighted shortest paths (paper's
+// future-work kernel) against the Dijkstra baseline on the snapshot.
+func BenchmarkSSSPDeltaStepping(b *testing.B) {
+	p := PaperRMAT(13, 8<<13, 100, 6)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(p.NumVertices(), WithExpectedEdges(2*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	snap := g.Snapshot(0)
+	src := snap.SampleSources(1, 1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.ShortestPaths(0, src, 0)
+	}
+}
+
+// BenchmarkStoreInsertSingle measures single-edge insert latency per
+// representation.
+func BenchmarkStoreInsertSingle(b *testing.B) {
+	const n = 1 << 14
+	mk := map[string]func() dyngraph.Store{
+		"dyn-arr": func() dyngraph.Store { return dyngraph.NewDynArr(n, n*10) },
+		"treaps":  func() dyngraph.Store { return dyngraph.NewTreapStore(n, 1) },
+		"hybrid":  func() dyngraph.Store { return dyngraph.NewHybrid(n, n*10, 0, 1) },
+	}
+	for name, f := range mk {
+		b.Run(name, func(b *testing.B) {
+			s := f()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(uint32(i)&(n-1), uint32(i*7)&(n-1), uint32(i))
+			}
+		})
+	}
+}
+
+func mustEdges(b *testing.B, cfg ibench.Config) []Edge {
+	b.Helper()
+	p := PaperRMAT(cfg.Scale, cfg.EdgeFactor<<cfg.Scale, cfg.TimeMax, cfg.Seed)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return edges
+}
+
+func benchName(k string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return k + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return k + "=" + string(buf[i:])
+}

@@ -1,0 +1,120 @@
+// Command snapbench runs the paper's evaluation figures at configurable
+// scale and prints the measured series in paper-style tables.
+//
+// Usage:
+//
+//	snapbench -fig all -scale 18
+//	snapbench -fig 5 -scale 20 -delfrac 0.075
+//	snapbench -fig 8 -queries 1000000 -workers 1,2,4,8
+//
+// Figures map to the paper as documented in DESIGN.md: 1-6 are the
+// dynamic-representation experiments, 7-8 the link-cut tree, 9 the
+// induced subgraph kernel, 10 temporal BFS, 11 approximate temporal
+// betweenness centrality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"snapdyn/internal/bench"
+	"snapdyn/internal/timing"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "figure to run: 1..11 or 'all'")
+		scale      = flag.Int("scale", 16, "R-MAT scale (n = 2^scale vertices)")
+		edgeFactor = flag.Int("edgefactor", 10, "edges per vertex (m = edgefactor*n)")
+		workers    = flag.String("workers", "", "comma-separated worker sweep (default: 1,2,4,..,GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 20090525, "random seed")
+		timeMax    = flag.Uint("tmax", 100, "max time label")
+		queries    = flag.Int("queries", 1_000_000, "connectivity queries for figure 8")
+		sources    = flag.Int("sources", 256, "sampled sources for figure 11")
+		delFrac    = flag.Float64("delfrac", 0.075, "fraction of m to delete in figure 5")
+		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:      *scale,
+		EdgeFactor: *edgeFactor,
+		TimeMax:    uint32(*timeMax),
+		Seed:       *seed,
+	}
+	if *workers != "" {
+		ws, err := parseInts(*workers)
+		if err != nil {
+			fatalf("bad -workers: %v", err)
+		}
+		cfg.Workers = ws
+	}
+
+	fig1Scales := []int{}
+	if *scales != "" {
+		ss, err := parseInts(*scales)
+		if err != nil {
+			fatalf("bad -scales: %v", err)
+		}
+		fig1Scales = ss
+	} else {
+		for s := max(8, *scale-6); s <= *scale; s += 2 {
+			fig1Scales = append(fig1Scales, s)
+		}
+	}
+
+	runners := map[string]func() *timing.Table{
+		"1":  func() *timing.Table { return bench.Fig1InsertScaling(cfg, fig1Scales) },
+		"2":  func() *timing.Table { return bench.Fig2ResizeOverhead(cfg) },
+		"3":  func() *timing.Table { return bench.Fig3Partitioning(cfg) },
+		"4":  func() *timing.Table { return bench.Fig4Insertions(cfg) },
+		"5":  func() *timing.Table { return bench.Fig5Deletions(cfg, *delFrac) },
+		"6":  func() *timing.Table { return bench.Fig6Mixed(cfg) },
+		"7":  func() *timing.Table { return bench.Fig7LCTBuild(cfg) },
+		"8":  func() *timing.Table { return bench.Fig8Queries(cfg, *queries) },
+		"9":  func() *timing.Table { return bench.Fig9Subgraph(cfg) },
+		"10": func() *timing.Table { return bench.Fig10BFS(cfg) },
+		"11": func() *timing.Table { return bench.Fig11TemporalBC(cfg, *sources) },
+	}
+
+	var order []string
+	if *fig == "all" {
+		order = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11"}
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			f = strings.TrimSpace(f)
+			if _, ok := runners[f]; !ok {
+				fatalf("unknown figure %q (want 1..11 or all)", f)
+			}
+			order = append(order, f)
+		}
+	}
+	for _, f := range order {
+		t := runners[f]()
+		t.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("non-positive value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snapbench: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,38 @@
+// Package snapdyn is a Go reproduction of the dynamic-graph portion of
+// the SNAP (Small-world Network Analysis and Partitioning) framework, as
+// described in Madduri & Bader, "Compact Graph Representations and
+// Parallel Connectivity Algorithms for Massive Dynamic Network Analysis"
+// (IPDPS 2009).
+//
+// The library provides:
+//
+//   - Compact dynamic graph representations for small-world networks
+//     under parallel streams of edge insertions and deletions: resizable
+//     adjacency arrays, adjacency treaps, and the hybrid array/treap
+//     structure keyed by a degree threshold (the paper's contribution),
+//     plus vertex/edge partitioning and batched (semi-sorted) update
+//     application.
+//   - Dynamic graph kernels: a parent-pointer link-cut forest for
+//     connectivity queries, parallel level-synchronous (temporal) BFS,
+//     induced subgraph extraction by time interval, parallel connected
+//     components, and (temporal) betweenness centrality.
+//   - The R-MAT generator and update-stream tooling used by the paper's
+//     evaluation, and one benchmark driver per paper figure.
+//
+// # Quick start
+//
+//	g := snapdyn.New(1<<20, snapdyn.WithExpectedEdges(10<<20))
+//	g.InsertEdge(1, 2, 100)   // edge 1->2 at time 100
+//	g.DeleteEdge(1, 2)
+//	snap := g.Snapshot(0)     // CSR snapshot with all workers
+//	conn := snap.Connectivity(0)
+//	ok := conn.Connected(1, 2)
+//
+// Vertex ids are uint32 values in [0, NumVertices); time labels are
+// application-defined uint32 values (Kempe-style time labels).
+//
+// Concurrency: Graph mutation methods are safe for concurrent use.
+// Snapshots are immutable and safe for concurrent queries. A
+// Connectivity index supports concurrent queries; its structural updates
+// (Link/Cut) require external serialization against queries.
+package snapdyn

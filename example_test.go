@@ -1,0 +1,138 @@
+package snapdyn_test
+
+import (
+	"fmt"
+
+	"snapdyn"
+)
+
+// The basic lifecycle: build a dynamic graph, mutate it, query it.
+func Example() {
+	g := snapdyn.New(8, snapdyn.Undirected())
+	g.InsertEdge(0, 1, 10)
+	g.InsertEdge(1, 2, 20)
+	g.InsertEdge(4, 5, 30)
+
+	snap := g.Snapshot(1)
+	conn := snap.Connectivity(1)
+	fmt.Println("0~2 connected:", conn.Connected(0, 2))
+	fmt.Println("0~4 connected:", conn.Connected(0, 4))
+
+	g.DeleteEdge(1, 2)
+	snap = g.Snapshot(1)
+	conn = snap.Connectivity(1)
+	fmt.Println("0~2 after delete:", conn.Connected(0, 2))
+	// Output:
+	// 0~2 connected: true
+	// 0~4 connected: false
+	// 0~2 after delete: false
+}
+
+// Choosing a representation: the hybrid structure is the default; pure
+// arrays or treaps are available for insert- or delete-heavy workloads.
+func ExampleNew() {
+	hybrid := snapdyn.New(100)
+	arrays := snapdyn.New(100, snapdyn.WithRepresentation(snapdyn.RepDynArr))
+	treaps := snapdyn.New(100, snapdyn.WithRepresentation(snapdyn.RepTreaps))
+	fmt.Println(hybrid.Representation())
+	fmt.Println(arrays.Representation())
+	fmt.Println(treaps.Representation())
+	// Output:
+	// hybrid-arr-treap
+	// dyn-arr
+	// treaps
+}
+
+// Streaming structural updates in batches.
+func ExampleGraph_ApplyUpdates() {
+	g := snapdyn.New(4)
+	g.ApplyUpdates(1, []snapdyn.Update{
+		{Edge: snapdyn.Edge{U: 0, V: 1, T: 1}, Op: snapdyn.OpInsert},
+		{Edge: snapdyn.Edge{U: 0, V: 2, T: 2}, Op: snapdyn.OpInsert},
+		{Edge: snapdyn.Edge{U: 0, V: 1, T: 1}, Op: snapdyn.OpDelete},
+	})
+	fmt.Println("arcs:", g.NumEdges())
+	fmt.Println("0->1:", g.HasEdge(0, 1))
+	fmt.Println("0->2:", g.HasEdge(0, 2))
+	// Output:
+	// arcs: 1
+	// 0->1: false
+	// 0->2: true
+}
+
+// Temporal analysis: restrict traversal to a time window.
+func ExampleSnapshot_TemporalBFS() {
+	g := snapdyn.New(4, snapdyn.Undirected())
+	g.InsertEdge(0, 1, 10)
+	g.InsertEdge(1, 2, 50)
+	g.InsertEdge(2, 3, 90)
+	snap := g.Snapshot(1)
+
+	early := snap.TemporalBFS(1, 0, 0, 40)
+	full := snap.TemporalBFS(1, 0, 0, 100)
+	fmt.Println("reached with labels <= 40:", early.Reached)
+	fmt.Println("reached with labels <= 100:", full.Reached)
+	// Output:
+	// reached with labels <= 40: 2
+	// reached with labels <= 100: 4
+}
+
+// Extracting the subgraph of a time interval (the induced subgraph
+// kernel).
+func ExampleSnapshot_InducedByTime() {
+	g := snapdyn.New(4)
+	g.InsertEdge(0, 1, 10)
+	g.InsertEdge(1, 2, 50)
+	g.InsertEdge(2, 3, 90)
+	snap := g.Snapshot(1)
+	win := snap.InducedByTime(1, 20, 70) // open interval: keeps label 50
+	fmt.Println("arcs in (20,70):", win.NumEdges())
+	// Output:
+	// arcs in (20,70): 1
+}
+
+// Weighted shortest paths with time labels as weights (delta-stepping).
+func ExampleSnapshot_ShortestPaths() {
+	g := snapdyn.New(3, snapdyn.Undirected())
+	g.InsertEdge(0, 1, 4)
+	g.InsertEdge(1, 2, 3)
+	g.InsertEdge(0, 2, 9)
+	snap := g.Snapshot(1)
+	dist := snap.ShortestPaths(1, 0, 0)
+	fmt.Println("dist to 2:", dist[2])
+	// Output:
+	// dist to 2: 7
+}
+
+// Incremental connectivity without snapshot rebuilds.
+func ExampleDynamicConnectivity() {
+	d := snapdyn.NewDynamicConnectivity(5)
+	d.InsertEdge(0, 1, 1)
+	d.InsertEdge(1, 2, 2)
+	d.InsertEdge(0, 2, 3) // cycle edge
+	fmt.Println("0~2:", d.Connected(0, 2))
+	d.DeleteEdge(1, 2) // tree edge, replaced by the cycle edge
+	fmt.Println("0~2 after tree-edge delete:", d.Connected(0, 2))
+	d.DeleteEdge(0, 2)
+	d.DeleteEdge(0, 1)
+	fmt.Println("0~2 after all deletes:", d.Connected(0, 2))
+	// Output:
+	// 0~2: true
+	// 0~2 after tree-edge delete: true
+	// 0~2 after all deletes: false
+}
+
+// Compressing a snapshot to reduce memory footprint.
+func ExampleSnapshot_Compress() {
+	g := snapdyn.New(4)
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(0, 2, 2)
+	g.InsertEdge(0, 3, 3)
+	snap := g.Snapshot(1)
+	cs := snap.Compress(1)
+	fmt.Println("arcs:", cs.NumEdges())
+	fmt.Println("degree of 0:", cs.OutDegree(0))
+	// Output:
+	// arcs: 3
+	// degree of 0: 3
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a dynamic small-world graph, stream structural
+// updates into it, and answer connectivity queries — the minimal tour of
+// the snapdyn public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snapdyn"
+)
+
+func main() {
+	// Generate a synthetic small-world network with the paper's R-MAT
+	// parameters: 2^14 vertices, 10 edges per vertex, time labels 1..100.
+	params := snapdyn.PaperRMAT(14, 10*(1<<14), 100, 42)
+	edges, err := snapdyn.GenerateRMAT(0, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The hybrid array/treap representation is the default: fast array
+	// inserts for the many low-degree vertices, logarithmic deletes for
+	// the few heavy ones.
+	g := snapdyn.New(params.NumVertices(),
+		snapdyn.WithExpectedEdges(2*len(edges)),
+		snapdyn.Undirected(),
+	)
+	g.InsertEdges(0, edges)
+	fmt.Printf("loaded: %v\n", g.Stats())
+
+	// Stream updates: delete a batch of existing edges, insert new ones.
+	dels := snapdyn.Deletions(edges, 1000, 7)
+	g.ApplyUpdates(0, dels)
+	g.InsertEdge(3, 9, 101)
+	fmt.Printf("after updates: %d arcs\n", g.NumEdges())
+
+	// Freeze a snapshot and build the link-cut connectivity index.
+	snap := g.Snapshot(0)
+	conn := snap.Connectivity(0)
+	fmt.Printf("vertices 3 and 9 connected: %v\n", conn.Connected(3, 9))
+	fmt.Printf("components: %d\n", snap.ComponentCount(0))
+
+	// Traverse: BFS from the first sampled (non-isolated) source.
+	src := snap.SampleSources(1, 1)[0]
+	res := snap.BFS(0, src)
+	fmt.Printf("BFS from %d reached %d vertices in %d levels\n",
+		src, res.Reached, res.Levels)
+}

@@ -1,0 +1,66 @@
+// Socialstream simulates the paper's motivating workload: a live feed of
+// social interactions (friend/unfriend events) applied in batches to a
+// dynamic graph while connectivity structure is monitored between
+// batches — the "queries on massive dynamic interaction data sets"
+// scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"snapdyn"
+)
+
+const (
+	scale      = 13
+	edgeFactor = 8
+	numBatches = 8
+)
+
+func main() {
+	n := 1 << scale
+	// Historical interactions: the initial friendship network.
+	history, err := snapdyn.GenerateRMAT(0, snapdyn.PaperRMAT(scale, edgeFactor*n, 1000, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Future interactions arriving on the stream.
+	future, err := snapdyn.GenerateRMAT(0, snapdyn.PaperRMAT(scale, edgeFactor*n, 1000, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := snapdyn.New(n,
+		snapdyn.WithExpectedEdges(4*len(history)),
+		snapdyn.Undirected(),
+	)
+	start := time.Now()
+	g.InsertEdges(0, history)
+	fmt.Printf("bootstrap: %d arcs in %v\n", g.NumEdges(), time.Since(start).Round(time.Millisecond))
+
+	// The stream mixes 75% new interactions with 25% departures, cut into
+	// batches as an ingestion pipeline would.
+	updates, err := snapdyn.MixedStream(history, future, len(future)/2, 0.75, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, batch := range snapdyn.StreamBatches(updates, len(updates)/numBatches+1) {
+		// Malformed events are routine in interaction logs: filter them.
+		clean, dropped := snapdyn.SanitizeStream(batch, n, true)
+
+		t0 := time.Now()
+		g.ApplyUpdates(0, clean)
+		applyDur := time.Since(t0)
+
+		snap := g.Snapshot(0)
+		conn := snap.Connectivity(0)
+		comps := snap.ComponentCount(0)
+		mups := float64(len(clean)) / applyDur.Seconds() / 1e6
+
+		fmt.Printf("batch %d: %6d updates (%d dropped) @ %5.1f MUPS | components=%5d | 0~1 connected: %v\n",
+			i, len(clean), dropped, mups, comps, conn.Connected(0, 1))
+	}
+	fmt.Printf("final: %v\n", g.Stats())
+}

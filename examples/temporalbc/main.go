@@ -1,0 +1,81 @@
+// Temporalbc analyzes influence in a time-stamped collaboration-style
+// network with the paper's temporal betweenness centrality: paths must
+// respect the time ordering of interactions (each edge strictly later
+// than the previous), so influence flows only forward in time. The
+// example contrasts the temporal ranking with the static one that
+// ignores time labels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"snapdyn"
+)
+
+func main() {
+	const scale = 12
+	n := 1 << scale
+	// Time labels in [1, 20], as in the paper's Figure 11 setup.
+	edges, err := snapdyn.GenerateRMAT(0, snapdyn.PaperRMAT(scale, 10*n, 20, 11))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := snapdyn.New(n, snapdyn.WithExpectedEdges(2*len(edges)), snapdyn.Undirected())
+	g.InsertEdges(0, edges)
+	snap := g.Snapshot(0)
+
+	// Approximate scores from 256 sampled sources, extrapolated — the
+	// paper's approximate betweenness configuration.
+	sources := snap.SampleSources(256, 99)
+	temporal := snap.Betweenness(0, snapdyn.BCOptions{Temporal: true, Sources: sources})
+	static := snap.Betweenness(0, snapdyn.BCOptions{Temporal: false, Sources: sources})
+
+	fmt.Println("top 10 vertices by temporal betweenness (vs static rank):")
+	staticRank := ranks(static)
+	for i, v := range topK(temporal, 10) {
+		fmt.Printf("%2d. vertex %6d  temporal=%12.1f  static_rank=%d\n",
+			i+1, v, temporal[v], staticRank[v])
+	}
+
+	// How much does respecting time ordering change the picture?
+	moved := 0
+	for rank, v := range topK(temporal, 50) {
+		if abs(staticRank[v]-rank) > 10 {
+			moved++
+		}
+	}
+	fmt.Printf("\n%d of the temporal top-50 move >10 ranks when time ordering is ignored\n", moved)
+}
+
+// topK returns the indices of the k largest scores.
+func topK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// ranks maps vertex -> rank under descending score order.
+func ranks(scores []float64) []int {
+	order := topK(scores, len(scores))
+	r := make([]int, len(scores))
+	for rank, v := range order {
+		r[v] = rank
+	}
+	return r
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

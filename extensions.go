@@ -1,0 +1,204 @@
+package snapdyn
+
+// Extensions beyond the paper's evaluated system, implementing its
+// "future research" directions: compressed adjacency representations,
+// vertex reordering for cache performance, incremental connectivity
+// maintenance (the dynamic forest problem), and the remaining classic
+// centrality indices (closeness, stress).
+
+import (
+	"snapdyn/internal/centrality"
+	"snapdyn/internal/cluster"
+	"snapdyn/internal/compress"
+	"snapdyn/internal/dynconn"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/reorder"
+	"snapdyn/internal/sssp"
+	"snapdyn/internal/traversal"
+)
+
+// --- Compressed snapshots -------------------------------------------------
+
+// CompressedSnapshot is an immutable gap-compressed adjacency structure
+// (WebGraph-style varint deltas), trading decode time for memory
+// footprint.
+type CompressedSnapshot struct {
+	g *compress.Graph
+}
+
+// Compress encodes the snapshot into compressed form in parallel.
+func (s *Snapshot) Compress(workers int) *CompressedSnapshot {
+	return &CompressedSnapshot{g: compress.FromCSR(workers, s.g)}
+}
+
+// NumVertices returns the vertex-set size.
+func (c *CompressedSnapshot) NumVertices() int { return c.g.N }
+
+// NumEdges returns the arc count.
+func (c *CompressedSnapshot) NumEdges() int64 { return c.g.NumEdges() }
+
+// SizeBytes returns the compressed payload size.
+func (c *CompressedSnapshot) SizeBytes() int64 { return c.g.SizeBytes() }
+
+// CompressionRatio compares against the 8-byte-per-arc CSR encoding.
+func (c *CompressedSnapshot) CompressionRatio() float64 { return c.g.CompressionRatio() }
+
+// OutDegree returns u's arc count.
+func (c *CompressedSnapshot) OutDegree(u VertexID) int { return c.g.Degree(u) }
+
+// Neighbors decodes u's arcs in increasing neighbor order.
+func (c *CompressedSnapshot) Neighbors(u VertexID, fn func(v VertexID, t uint32) bool) {
+	c.g.Neighbors(u, fn)
+}
+
+// Decompress restores an uncompressed snapshot (per-vertex arc order
+// becomes sorted).
+func (c *CompressedSnapshot) Decompress(workers int) *Snapshot {
+	return &Snapshot{g: c.g.ToCSR(workers)}
+}
+
+// BFS traverses the compressed graph directly (sequential decode per
+// adjacency list).
+func (c *CompressedSnapshot) BFS(workers int, src VertexID) (level []int32, reached int) {
+	return c.g.BFS(workers, src)
+}
+
+// --- Vertex reordering ----------------------------------------------------
+
+// Permutation maps old vertex ids to new ones (newID = perm[oldID]).
+type Permutation = reorder.Permutation
+
+// ReorderByDegree returns the hubs-first relabeling permutation.
+func (s *Snapshot) ReorderByDegree() Permutation { return reorder.ByDegree(s.g) }
+
+// ReorderByBFS returns the BFS visit-order relabeling permutation from
+// the given roots.
+func (s *Snapshot) ReorderByBFS(workers int, roots []VertexID) Permutation {
+	return reorder.ByBFS(workers, s.g, roots)
+}
+
+// Relabel applies a permutation, returning the relabeled snapshot.
+func (s *Snapshot) Relabel(workers int, perm Permutation) *Snapshot {
+	return &Snapshot{g: reorder.Apply(workers, s.g, perm)}
+}
+
+// --- Incremental connectivity (dynamic forest) ----------------------------
+
+// DynamicConnectivity maintains connectivity under edge insertions and
+// deletions without snapshot rebuilds: a spanning forest (link-cut
+// parent pointers) is repaired incrementally on each update. Not safe
+// for concurrent mutation.
+type DynamicConnectivity struct {
+	x *dynconn.Index
+}
+
+// NewDynamicConnectivity creates an empty index over n vertices backed
+// by the hybrid representation.
+func NewDynamicConnectivity(n int) *DynamicConnectivity {
+	return &DynamicConnectivity{x: dynconn.New(n, dyngraph.NewHybrid(n, 8*n, 0, 1))}
+}
+
+// InsertEdge adds the undirected edge {u, v} at time t.
+func (d *DynamicConnectivity) InsertEdge(u, v VertexID, t uint32) { d.x.InsertEdge(u, v, t) }
+
+// DeleteEdge removes one undirected edge {u, v}, repairing the spanning
+// forest if needed, and reports whether the edge existed.
+func (d *DynamicConnectivity) DeleteEdge(u, v VertexID) bool { return d.x.DeleteEdge(u, v) }
+
+// Connected answers a connectivity query in O(tree height).
+func (d *DynamicConnectivity) Connected(u, v VertexID) bool { return d.x.Connected(u, v) }
+
+// NumEdges returns the live undirected edge count.
+func (d *DynamicConnectivity) NumEdges() int64 { return d.x.NumEdges() }
+
+// ComponentCount returns the number of connected components (O(n)).
+func (d *DynamicConnectivity) ComponentCount() int { return d.x.ComponentCount() }
+
+// --- Additional centrality indices -----------------------------------------
+
+// ClosenessScores holds classic and harmonic closeness for one vertex.
+type ClosenessScores = centrality.ClosenessScores
+
+// Closeness computes closeness centrality for the listed vertices (one
+// traversal each, partitioned among workers).
+func (s *Snapshot) Closeness(workers int, sources []VertexID) []ClosenessScores {
+	return centrality.Closeness(workers, s.g, sources)
+}
+
+// Stress computes stress centrality (absolute shortest-path counts
+// through each vertex); options as in Betweenness.
+func (s *Snapshot) Stress(workers int, opt BCOptions) []float64 {
+	return centrality.Stress(workers, s.g, centrality.Options{
+		Temporal:  opt.Temporal,
+		Sources:   opt.Sources,
+		Normalize: opt.Sources != nil,
+	})
+}
+
+// --- Weighted shortest paths ------------------------------------------------
+
+// InfDistance marks unreachable vertices in ShortestPaths results.
+const InfDistance = sssp.Inf
+
+// ShortestPaths computes single-source shortest path distances treating
+// each arc's time label as its non-negative weight (label 0 = free arc),
+// using parallel delta-stepping. delta <= 0 picks a heuristic bucket
+// width; the result matches Dijkstra exactly.
+func (s *Snapshot) ShortestPaths(workers int, src VertexID, delta int64) []int64 {
+	return sssp.DeltaStepping(workers, s.g, src, sssp.LabelWeights, delta)
+}
+
+// HopDistances computes unweighted (hop count) distances via the same
+// machinery, for validation against BFS levels.
+func (s *Snapshot) HopDistances(workers int, src VertexID) []int64 {
+	return sssp.DeltaStepping(workers, s.g, src, sssp.UnitWeights, 1)
+}
+
+// --- Small-world diagnostics -------------------------------------------------
+
+// ClusteringCoefficients holds triangle counts and local clustering
+// coefficients (see internal/cluster).
+type ClusteringCoefficients = cluster.Coefficients
+
+// Clustering computes per-vertex triangle counts and clustering
+// coefficients over a symmetric snapshot.
+func (s *Snapshot) Clustering(workers int) *ClusteringCoefficients {
+	return cluster.Compute(workers, s.g)
+}
+
+// EstimateDiameter lower-bounds the diameter of the largest component by
+// the double-sweep heuristic repeated over sampled starting vertices:
+// BFS from a sample, then BFS again from the farthest vertex found. The
+// returned value is exact for trees and a tight lower bound in practice
+// on small-world graphs.
+func (s *Snapshot) EstimateDiameter(workers, samples int, seed uint64) int32 {
+	if samples <= 0 {
+		samples = 4
+	}
+	srcs := s.SampleSources(samples, seed)
+	var best int32
+	for _, src := range srcs {
+		res := traversal.BFS(workers, s.g, src)
+		far, fd := farthest(res)
+		if fd > best {
+			best = fd
+		}
+		res = traversal.BFS(workers, s.g, far)
+		if _, fd = farthest(res); fd > best {
+			best = fd
+		}
+	}
+	return best
+}
+
+func farthest(res *traversal.Result) (VertexID, int32) {
+	var v VertexID
+	var d int32
+	for u, l := range res.Level {
+		if l != traversal.NotVisited && l > d {
+			d = l
+			v = VertexID(u)
+		}
+	}
+	return v, d
+}

@@ -1,0 +1,52 @@
+package snapdyn
+
+import (
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/stream"
+)
+
+// RMATParams configures the R-MAT synthetic graph generator. See
+// rmat.Params; PaperRMAT fills in the paper's shaping parameters.
+type RMATParams = rmat.Params
+
+// PaperRMAT returns the paper's R-MAT configuration (a=0.6, b=0.15,
+// c=0.15, d=0.10) for n = 2^scale vertices and the given edge count,
+// with uniform random time labels in [1, timeMax] (0 disables labels).
+func PaperRMAT(scale, edges int, timeMax uint32, seed uint64) RMATParams {
+	return rmat.PaperParams(scale, edges, timeMax, seed)
+}
+
+// GenerateRMAT samples an edge list in parallel (workers <= 0 uses
+// GOMAXPROCS). Output is deterministic for a given seed.
+func GenerateRMAT(workers int, p RMATParams) ([]Edge, error) {
+	return rmat.Generate(workers, p)
+}
+
+// Inserts converts an edge list into a pure insertion stream.
+func Inserts(edges []Edge) []Update { return stream.Inserts(edges) }
+
+// Deletions samples count random deletions of existing edges.
+func Deletions(edges []Edge, count int, seed uint64) []Update {
+	return stream.Deletions(edges, count, seed)
+}
+
+// MixedStream builds a shuffled stream with the given insertion fraction:
+// insertions drawn from extra, deletions from base.
+func MixedStream(base, extra []Edge, count int, insFrac float64, seed uint64) ([]Update, error) {
+	return stream.Mixed(base, extra, count, insFrac, seed)
+}
+
+// ShuffleStream randomly permutes a stream in place (the paper's load
+// balancing mitigation for update streams with per-vertex locality).
+func ShuffleStream(ups []Update, seed uint64) { stream.Shuffle(ups, seed) }
+
+// StreamBatches cuts a stream into consecutive batches of the given
+// size; the returned slices alias ups.
+func StreamBatches(ups []Update, size int) [][]Update { return stream.Batches(ups, size) }
+
+// SanitizeStream drops updates with endpoints outside [0, n) (and self
+// loops when dropSelfLoops is set), returning the cleaned stream and the
+// number dropped.
+func SanitizeStream(ups []Update, n int, dropSelfLoops bool) ([]Update, int) {
+	return stream.Sanitize(ups, n, dropSelfLoops)
+}

@@ -1,0 +1,223 @@
+package snapdyn
+
+import (
+	"fmt"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/stream"
+)
+
+// VertexID identifies a vertex: an integer in [0, NumVertices).
+type VertexID = edge.ID
+
+// Edge is a directed arc with a time label.
+type Edge = edge.Edge
+
+// Update is one element of a structural update stream.
+type Update = edge.Update
+
+// Update operation kinds.
+const (
+	OpInsert = edge.Insert
+	OpDelete = edge.Delete
+)
+
+// Representation selects the dynamic adjacency structure backing a Graph.
+type Representation int
+
+// Available representations. RepHybrid is the paper's recommended
+// default: array storage for low-degree vertices, treaps above the
+// degree threshold.
+const (
+	RepHybrid Representation = iota
+	RepDynArr
+	RepTreaps
+	RepVpart
+	RepEpart
+)
+
+// String implements fmt.Stringer.
+func (r Representation) String() string {
+	switch r {
+	case RepHybrid:
+		return "hybrid-arr-treap"
+	case RepDynArr:
+		return "dyn-arr"
+	case RepTreaps:
+		return "treaps"
+	case RepVpart:
+		return "vpart"
+	case RepEpart:
+		return "epart"
+	default:
+		return fmt.Sprintf("representation(%d)", int(r))
+	}
+}
+
+// Options configure graph construction; use the With* helpers.
+type Options struct {
+	rep           Representation
+	expectedEdges int
+	degreeThresh  int
+	seed          uint64
+	undirected    bool
+	batched       bool
+}
+
+// Option mutates construction options.
+type Option func(*Options)
+
+// WithRepresentation selects the adjacency structure.
+func WithRepresentation(r Representation) Option {
+	return func(o *Options) { o.rep = r }
+}
+
+// WithExpectedEdges sizes initial adjacency arrays to the paper's k·m/n
+// heuristic and pre-reserves arena capacity.
+func WithExpectedEdges(m int) Option {
+	return func(o *Options) { o.expectedEdges = m }
+}
+
+// WithDegreeThreshold sets the hybrid representation's degree-thresh
+// (default 32).
+func WithDegreeThreshold(t int) Option {
+	return func(o *Options) { o.degreeThresh = t }
+}
+
+// WithSeed seeds treap priorities for reproducible structures.
+func WithSeed(seed uint64) Option {
+	return func(o *Options) { o.seed = seed }
+}
+
+// Undirected makes every InsertEdge/DeleteEdge maintain both arcs.
+func Undirected() Option {
+	return func(o *Options) { o.undirected = true }
+}
+
+// Batched wraps the representation with semi-sorted batch application
+// for ApplyUpdates.
+func Batched() Option {
+	return func(o *Options) { o.batched = true }
+}
+
+// Graph is a dynamic graph over a fixed vertex set [0, n).
+// All mutation and query methods are safe for concurrent use.
+type Graph struct {
+	store      dyngraph.Store
+	undirected bool
+}
+
+// New creates a dynamic graph over n vertices.
+func New(n int, opts ...Option) *Graph {
+	o := Options{expectedEdges: 8 * n, seed: 1}
+	for _, f := range opts {
+		f(&o)
+	}
+	var s dyngraph.Store
+	switch o.rep {
+	case RepDynArr:
+		s = dyngraph.NewDynArr(n, o.expectedEdges)
+	case RepTreaps:
+		s = dyngraph.NewTreapStore(n, o.seed)
+	case RepVpart:
+		s = dyngraph.NewVpart(n, o.expectedEdges)
+	case RepEpart:
+		s = dyngraph.NewEpart(n, o.expectedEdges, 0)
+	default:
+		s = dyngraph.NewHybrid(n, o.expectedEdges, o.degreeThresh, o.seed)
+	}
+	if o.batched {
+		s = dyngraph.NewBatched(s)
+	}
+	return &Graph{store: s, undirected: o.undirected}
+}
+
+// Representation returns the name of the backing structure.
+func (g *Graph) Representation() string { return g.store.Name() }
+
+// NumVertices returns the vertex-set size.
+func (g *Graph) NumVertices() int { return g.store.NumVertices() }
+
+// NumEdges returns the number of live arcs (an undirected edge counts as
+// two arcs).
+func (g *Graph) NumEdges() int64 { return g.store.NumEdges() }
+
+// Undirected reports whether the graph maintains both arcs per edge.
+func (g *Graph) Undirected() bool { return g.undirected }
+
+// InsertEdge adds the edge u->v with time label t (and v->u for
+// undirected graphs). Inserting the same edge again adds a parallel edge
+// (multigraph semantics, as in the paper).
+func (g *Graph) InsertEdge(u, v VertexID, t uint32) {
+	g.store.Insert(u, v, t)
+	if g.undirected && u != v {
+		g.store.Insert(v, u, t)
+	}
+}
+
+// DeleteEdge removes one edge u->v (and its mirror for undirected
+// graphs), reporting whether the forward arc existed.
+func (g *Graph) DeleteEdge(u, v VertexID) bool {
+	ok := g.store.Delete(u, v)
+	if g.undirected && u != v {
+		g.store.Delete(v, u)
+	}
+	return ok
+}
+
+// DeleteEdgeAt removes the specific edge u->v with time label t (array
+// representations scan to locate the exact tuple; treaps locate the
+// neighbor in O(log d)). t == 0 acts as a wildcard.
+func (g *Graph) DeleteEdgeAt(u, v VertexID, t uint32) bool {
+	ok := g.store.DeleteTuple(u, v, t)
+	if g.undirected && u != v {
+		g.store.DeleteTuple(v, u, t)
+	}
+	return ok
+}
+
+// OutDegree returns the number of live arcs out of u.
+func (g *Graph) OutDegree(u VertexID) int { return g.store.Degree(u) }
+
+// HasEdge reports whether at least one live arc u->v exists.
+func (g *Graph) HasEdge(u, v VertexID) bool { return g.store.Has(u, v) }
+
+// Neighbors calls fn for every live arc out of u until fn returns false.
+// fn must not mutate the graph for the same vertex.
+func (g *Graph) Neighbors(u VertexID, fn func(v VertexID, t uint32) bool) {
+	g.store.Neighbors(u, fn)
+}
+
+// ApplyUpdates applies a batch of updates with the given worker count
+// (<= 0 means GOMAXPROCS). For undirected graphs the batch is mirrored
+// first.
+func (g *Graph) ApplyUpdates(workers int, batch []Update) {
+	if g.undirected {
+		batch = stream.Mirror(batch)
+	}
+	g.store.ApplyBatch(workers, batch)
+}
+
+// InsertEdges bulk-loads an edge list as a series of insertions.
+func (g *Graph) InsertEdges(workers int, edges []Edge) {
+	if g.undirected {
+		ups := stream.Mirror(stream.Inserts(edges))
+		g.store.ApplyBatch(workers, ups)
+		return
+	}
+	dyngraph.InsertAll(g.store, workers, edges)
+}
+
+// Snapshot freezes the current adjacency into an immutable CSR view for
+// the analysis kernels. It must not run concurrently with mutations.
+func (g *Graph) Snapshot(workers int) *Snapshot {
+	return &Snapshot{g: csr.FromStore(workers, g.store)}
+}
+
+// Stats returns degree-distribution summary statistics.
+func (g *Graph) Stats() GraphStats { return dyngraph.Stats(g.store, 0) }
+
+// GraphStats summarizes a graph's shape.
+type GraphStats = dyngraph.GraphStats

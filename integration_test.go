@@ -1,0 +1,223 @@
+package snapdyn
+
+// End-to-end integration tests: update stream -> dynamic representation
+// -> CSR snapshot -> kernels, with independent implementations
+// cross-checked against each other (BFS vs link-cut forest vs component
+// labels; rebuild-vs-delete subgraph extraction; temporal filters).
+
+import (
+	"testing"
+
+	"snapdyn/internal/xrand"
+)
+
+func buildTestNetwork(t *testing.T, rep Representation, scale int, seed uint64) (*Graph, []Edge) {
+	t.Helper()
+	p := PaperRMAT(scale, 8<<scale, 100, seed)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(p.NumVertices(),
+		WithRepresentation(rep),
+		WithExpectedEdges(2*len(edges)),
+		WithSeed(seed),
+		Undirected())
+	g.InsertEdges(0, edges)
+	return g, edges
+}
+
+func TestPipelineConnectivityConsistency(t *testing.T) {
+	for _, rep := range []Representation{RepHybrid, RepDynArr, RepTreaps} {
+		rep := rep
+		t.Run(rep.String(), func(t *testing.T) {
+			g, _ := buildTestNetwork(t, rep, 10, 17)
+			snap := g.Snapshot(0)
+			comp := snap.Components(0)
+			conn := snap.Connectivity(0)
+			r := xrand.New(5)
+			n := uint32(snap.NumVertices())
+			for i := 0; i < 2000; i++ {
+				u, v := r.Uint32n(n), r.Uint32n(n)
+				byLabels := comp[u] == comp[v]
+				byForest := conn.Connected(u, v)
+				if byLabels != byForest {
+					t.Fatalf("labels=%v forest=%v for (%d,%d)", byLabels, byForest, u, v)
+				}
+				if i%100 == 0 {
+					byBFS, _ := snap.STConnected(0, u, v)
+					if byBFS != byLabels {
+						t.Fatalf("bfs=%v labels=%v for (%d,%d)", byBFS, byLabels, u, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPipelineSurvivesChurn(t *testing.T) {
+	g, edges := buildTestNetwork(t, RepHybrid, 9, 23)
+	before := g.NumEdges()
+
+	// Delete a third of the network, insert fresh edges, and verify all
+	// kernels still agree with each other.
+	dels := Deletions(edges, len(edges)/3, 31)
+	g.ApplyUpdates(0, dels)
+	fresh, err := GenerateRMAT(0, PaperRMAT(9, 1000, 100, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.InsertEdges(0, fresh)
+	// Arcs: -2 per non-loop deletion (-1 per loop), +2 per fresh
+	// non-loop edge (+1 per loop).
+	loopUpdates := func(us []Update) int64 {
+		c := int64(0)
+		for _, u := range us {
+			if u.U == u.V {
+				c++
+			}
+		}
+		return c
+	}
+	delLoops := loopUpdates(dels)
+	freshLoops := loopUpdates(Inserts(fresh))
+	want := before - 2*int64(len(dels)) + delLoops + 2*int64(len(fresh)) - freshLoops
+	if g.NumEdges() != want {
+		t.Fatalf("arcs = %d, want %d", g.NumEdges(), want)
+	}
+
+	snap := g.Snapshot(0)
+	if snap.NumEdges() != g.NumEdges() {
+		t.Fatalf("snapshot arcs %d != graph arcs %d", snap.NumEdges(), g.NumEdges())
+	}
+	comp := snap.Components(0)
+	conn := snap.Connectivity(0)
+	r := xrand.New(3)
+	for i := 0; i < 500; i++ {
+		u, v := r.Uint32n(uint32(snap.NumVertices())), r.Uint32n(uint32(snap.NumVertices()))
+		if (comp[u] == comp[v]) != conn.Connected(u, v) {
+			t.Fatalf("post-churn disagreement on (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestPipelineTemporalWindowMonotone(t *testing.T) {
+	g, _ := buildTestNetwork(t, RepHybrid, 9, 41)
+	snap := g.Snapshot(0)
+	// Growing windows keep at least as many arcs and components can only
+	// merge (weakly fewer) as the window grows.
+	prevArcs := int64(-1)
+	prevComps := 1 << 30
+	for _, hi := range []uint32{11, 31, 61, 101} {
+		win := snap.InducedByTime(0, 0, hi)
+		if win.NumEdges() < prevArcs {
+			t.Fatalf("window (0,%d) lost arcs: %d < %d", hi, win.NumEdges(), prevArcs)
+		}
+		comps := win.ComponentCount(0)
+		if comps > prevComps {
+			t.Fatalf("window (0,%d) split components: %d > %d", hi, comps, prevComps)
+		}
+		prevArcs, prevComps = win.NumEdges(), comps
+	}
+	// The full window must equal the unfiltered snapshot.
+	full := snap.InducedByTime(0, 0, 101)
+	if full.NumEdges() != snap.NumEdges() {
+		t.Fatalf("full window arcs %d != snapshot arcs %d", full.NumEdges(), snap.NumEdges())
+	}
+}
+
+func TestPipelineTemporalBFSSubsetOfStatic(t *testing.T) {
+	g, _ := buildTestNetwork(t, RepHybrid, 10, 59)
+	snap := g.Snapshot(0)
+	src := snap.SampleSources(1, 2)[0]
+	static := snap.BFS(0, src)
+	for _, win := range [][2]uint32{{1, 100}, {20, 70}, {40, 41}} {
+		temporal := snap.TemporalBFS(0, src, win[0], win[1])
+		if temporal.Reached > static.Reached {
+			t.Fatalf("window %v reached more than static", win)
+		}
+		for v := range temporal.Level {
+			if temporal.Level[v] != NotVisited && static.Level[v] == NotVisited {
+				t.Fatalf("window %v reached %d which static BFS did not", win, v)
+			}
+			if temporal.Level[v] != NotVisited && temporal.Level[v] < static.Level[v] {
+				t.Fatalf("window %v found shorter path to %d than static", win, v)
+			}
+		}
+	}
+}
+
+func TestPipelineBetweennessAgreesWithDegenerateCases(t *testing.T) {
+	// On a network where every edge has the same time label, temporal
+	// paths of length >= 2 are all invalid (labels must strictly
+	// increase), so only direct neighbors are reachable and all
+	// betweenness scores are 0.
+	n := 64
+	g := New(n, Undirected())
+	r := xrand.New(6)
+	for i := 0; i < 300; i++ {
+		g.InsertEdge(r.Uint32n(uint32(n)), r.Uint32n(uint32(n)), 5)
+	}
+	snap := g.Snapshot(0)
+	bc := snap.Betweenness(0, BCOptions{Temporal: true})
+	for v, s := range bc {
+		if s != 0 {
+			t.Fatalf("uniform-label temporal bc[%d] = %v, want 0", v, s)
+		}
+	}
+	// Static betweenness on the same graph is generally nonzero.
+	static := snap.Betweenness(0, BCOptions{})
+	nonzero := false
+	for _, s := range static {
+		if s > 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("static bc identically zero on a random graph")
+	}
+}
+
+func TestRepresentationsProduceIdenticalSnapshots(t *testing.T) {
+	// The same update sequence through different representations must
+	// produce the same graph (multiset of arcs per vertex).
+	p := PaperRMAT(9, 6<<9, 50, 13)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels := Deletions(edges, len(edges)/4, 19)
+	snapshots := make([]*Snapshot, 0, 3)
+	for _, rep := range []Representation{RepHybrid, RepDynArr, RepTreaps} {
+		g := New(p.NumVertices(), WithRepresentation(rep), WithExpectedEdges(len(edges)))
+		g.InsertEdges(0, edges)
+		g.ApplyUpdates(0, dels)
+		snapshots = append(snapshots, g.Snapshot(0))
+	}
+	base := snapshots[0]
+	for i, s := range snapshots[1:] {
+		if s.NumEdges() != base.NumEdges() {
+			t.Fatalf("snapshot %d arcs %d != %d", i+1, s.NumEdges(), base.NumEdges())
+		}
+		for u := 0; u < base.NumVertices(); u++ {
+			if s.OutDegree(uint32(u)) != base.OutDegree(uint32(u)) {
+				t.Fatalf("snapshot %d degree(%d) differs", i+1, u)
+			}
+			baseAdj, _ := base.Neighbors(uint32(u))
+			sAdj, _ := s.Neighbors(uint32(u))
+			counts := map[uint32]int{}
+			for _, v := range baseAdj {
+				counts[v]++
+			}
+			for _, v := range sAdj {
+				counts[v]--
+			}
+			for v, c := range counts {
+				if c != 0 {
+					t.Fatalf("snapshot %d vertex %d neighbor %d multiset differs by %d", i+1, u, v, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{16, 16}, {17, 32}, {1023, 1024}, {1024, 1024}, {1025, 2048},
+	}
+	for _, c := range cases {
+		if got := ClassSize(c.n); got != c.want {
+			t.Errorf("ClassSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestAllocReturnsZeroed(t *testing.T) {
+	a := New(0)
+	b := a.Alloc(8)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("fresh block entry %d = %d, want 0", i, v)
+		}
+	}
+	for i := range b {
+		b[i] = uint64(i) + 1
+	}
+	a.Free(b)
+	b2 := a.Alloc(8)
+	for i, v := range b2 {
+		if v != 0 {
+			t.Fatalf("recycled block entry %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestAllocCapacity(t *testing.T) {
+	a := New(0)
+	if err := quick.Check(func(n uint16) bool {
+		want := ClassSize(int(n))
+		b := a.Alloc(int(n))
+		return len(b) == want && cap(b) == want
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlocksDoNotOverlap(t *testing.T) {
+	a := New(0)
+	blocks := make([][]uint64, 0, 100)
+	for i := 0; i < 100; i++ {
+		b := a.Alloc(16)
+		for j := range b {
+			b[j] = uint64(i)
+		}
+		blocks = append(blocks, b)
+	}
+	for i, b := range blocks {
+		for j, v := range b {
+			if v != uint64(i) {
+				t.Fatalf("block %d entry %d clobbered: %d", i, j, v)
+			}
+		}
+	}
+}
+
+func TestRecycle(t *testing.T) {
+	a := New(0)
+	b := a.Alloc(64)
+	a.Free(b)
+	b2 := a.Alloc(64)
+	if &b[0] != &b2[0] {
+		t.Fatal("expected recycled block to be reused")
+	}
+}
+
+func TestOversizedAlloc(t *testing.T) {
+	a := New(0)
+	b := a.Alloc(chunkEntries * 2)
+	if len(b) < chunkEntries*2 {
+		t.Fatalf("oversized alloc returned %d entries", len(b))
+	}
+}
+
+func TestReserve(t *testing.T) {
+	a := New(3 * chunkEntries)
+	s := a.Stats()
+	if s.EntriesReserved < 3*chunkEntries {
+		t.Fatalf("reserved %d entries, want >= %d", s.EntriesReserved, 3*chunkEntries)
+	}
+	if s.Chunks != 3 {
+		t.Fatalf("chunks = %d, want 3", s.Chunks)
+	}
+}
+
+func TestFreeIgnoresBadBlocks(t *testing.T) {
+	a := New(0)
+	a.Free(nil)               // empty
+	a.Free(make([]uint64, 3)) // not a power of two
+	b := a.Alloc(4)
+	a.Free(b)
+	if got := a.Alloc(4); &got[0] != &b[0] {
+		t.Fatal("valid free was not recycled")
+	}
+}
+
+func TestConcurrentAlloc(t *testing.T) {
+	a := New(0)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	results := make([][][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b := a.Alloc(8)
+				for j := range b {
+					b[j] = uint64(w)<<32 | uint64(i)
+				}
+				results[w] = append(results[w], b)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, bs := range results {
+		for i, b := range bs {
+			for _, v := range b {
+				if v != uint64(w)<<32|uint64(i) {
+					t.Fatalf("worker %d block %d corrupted", w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	a := New(0)
+	a.Alloc(16)
+	b := a.Alloc(32)
+	a.Free(b)
+	s := a.Stats()
+	if s.EntriesAllocated != 48 {
+		t.Fatalf("allocated = %d, want 48", s.EntriesAllocated)
+	}
+	if s.EntriesRecycled != 32 {
+		t.Fatalf("recycled = %d, want 32", s.EntriesRecycled)
+	}
+	if s.String() == "" {
+		t.Fatal("empty Stats string")
+	}
+}
+
+func BenchmarkAlloc(b *testing.B) {
+	a := New(1 << 22)
+	for i := 0; i < b.N; i++ {
+		blk := a.Alloc(16)
+		a.Free(blk)
+	}
+}

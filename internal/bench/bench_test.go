@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"snapdyn/internal/timing"
+)
+
+// tinyConfig keeps driver tests fast.
+func tinyConfig() Config {
+	return Config{Scale: 10, EdgeFactor: 8, TimeMax: 100, Seed: 42, Workers: []int{1, 2}}
+}
+
+func checkTable(t *testing.T, tbl *timing.Table, wantLabels ...string) {
+	t.Helper()
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("%s: empty table", tbl.Title)
+	}
+	labels := map[string]bool{}
+	for _, m := range tbl.Rows {
+		if m.Seconds <= 0 {
+			t.Fatalf("%s: non-positive duration in %+v", tbl.Title, m)
+		}
+		if m.Ops <= 0 {
+			t.Fatalf("%s: non-positive ops in %+v", tbl.Title, m)
+		}
+		labels[m.Label] = true
+	}
+	for _, w := range wantLabels {
+		if !labels[w] {
+			t.Fatalf("%s: missing series %q (have %v)", tbl.Title, w, tbl.Labels())
+		}
+	}
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	if !strings.Contains(sb.String(), tbl.Title) {
+		t.Fatalf("%s: print missing title", tbl.Title)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	tbl := Fig1InsertScaling(tinyConfig(), []int{8, 10})
+	checkTable(t, tbl, "dyn-arr-nr")
+	if len(tbl.Rows) != 4 { // 2 scales x 2 worker counts
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+}
+
+func TestFig2(t *testing.T) {
+	tbl := Fig2ResizeOverhead(tinyConfig())
+	checkTable(t, tbl, "dyn-arr", "dyn-arr-nr")
+}
+
+func TestFig3(t *testing.T) {
+	tbl := Fig3Partitioning(tinyConfig())
+	checkTable(t, tbl, "dyn-arr-nr", "vpart", "epart", "batched-bound(semisort)")
+}
+
+func TestFig4(t *testing.T) {
+	tbl := Fig4Insertions(tinyConfig())
+	checkTable(t, tbl, "dyn-arr", "treaps", "hybrid-arr-treap")
+}
+
+func TestFig5(t *testing.T) {
+	tbl := Fig5Deletions(tinyConfig(), 0.1)
+	checkTable(t, tbl, "dyn-arr", "treaps", "hybrid-arr-treap")
+}
+
+func TestFig6(t *testing.T) {
+	tbl := Fig6Mixed(tinyConfig())
+	checkTable(t, tbl, "dyn-arr", "treaps", "hybrid-arr-treap")
+}
+
+func TestFig7(t *testing.T) {
+	tbl := Fig7LCTBuild(tinyConfig())
+	checkTable(t, tbl, "lct-build")
+}
+
+func TestFig8(t *testing.T) {
+	tbl := Fig8Queries(tinyConfig(), 10000)
+	checkTable(t, tbl, "lct-query")
+}
+
+func TestFig9(t *testing.T) {
+	tbl := Fig9Subgraph(tinyConfig())
+	checkTable(t, tbl, "induced-subgraph")
+}
+
+func TestFig10(t *testing.T) {
+	tbl := Fig10BFS(tinyConfig())
+	checkTable(t, tbl, "temporal-bfs")
+}
+
+func TestFig11(t *testing.T) {
+	tbl := Fig11TemporalBC(tinyConfig(), 16)
+	checkTable(t, tbl, "temporal-bc")
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Scale < 10 || cfg.EdgeFactor < 1 || cfg.TimeMax == 0 {
+		t.Fatalf("suspicious default config: %+v", cfg)
+	}
+	if len(cfg.workers()) == 0 {
+		t.Fatal("empty default sweep")
+	}
+	if cfg.n() != 1<<cfg.Scale || cfg.m() != cfg.EdgeFactor<<cfg.Scale {
+		t.Fatal("size computation wrong")
+	}
+}

@@ -1,0 +1,165 @@
+package cc
+
+import (
+	"testing"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/xrand"
+)
+
+func graphOf(n int, undirected bool, es ...[2]uint32) *csr.Graph {
+	edges := make([]edge.Edge, len(es))
+	for i, e := range es {
+		edges[i] = edge.Edge{U: e[0], V: e[1]}
+	}
+	return csr.FromEdges(2, n, edges, undirected)
+}
+
+func TestTwoComponents(t *testing.T) {
+	g := graphOf(6, true, [2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{3, 4})
+	comp := Components(4, g)
+	if Count(comp) != 3 { // {0,1,2}, {3,4}, {5}
+		t.Fatalf("components = %d, want 3", Count(comp))
+	}
+	if !SameComponent(comp, 0, 2) || SameComponent(comp, 0, 3) || SameComponent(comp, 4, 5) {
+		t.Fatal("component membership wrong")
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	g := graphOf(5, true)
+	comp := Components(2, g)
+	if Count(comp) != 5 {
+		t.Fatalf("components = %d, want 5", Count(comp))
+	}
+}
+
+func TestChainAndCycle(t *testing.T) {
+	// A long chain stresses pointer jumping.
+	const n = 2000
+	var es [][2]uint32
+	for i := uint32(0); i < n-1; i++ {
+		es = append(es, [2]uint32{i, i + 1})
+	}
+	g := graphOf(n, true, es...)
+	comp := Components(4, g)
+	if Count(comp) != 1 {
+		t.Fatalf("chain components = %d, want 1", Count(comp))
+	}
+	for u := 1; u < n; u++ {
+		if comp[u] != comp[0] {
+			t.Fatalf("vertex %d not in chain component", u)
+		}
+	}
+}
+
+func TestLargest(t *testing.T) {
+	g := graphOf(7, true, [2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3}, [2]uint32{5, 6})
+	comp := Components(1, g)
+	label, size := Largest(comp)
+	if size != 4 {
+		t.Fatalf("largest size = %d, want 4", size)
+	}
+	if comp[0] != label {
+		t.Fatal("largest label mismatch")
+	}
+}
+
+// bfsComponents is a sequential reference labeling.
+func bfsComponents(g *csr.Graph) []int {
+	comp := make([]int, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	// Treat arcs as undirected: build reverse adjacency too.
+	radj := make([][]uint32, g.N)
+	for u := 0; u < g.N; u++ {
+		adj, _ := g.Neighbors(edge.ID(u))
+		for _, v := range adj {
+			radj[v] = append(radj[v], uint32(u))
+		}
+	}
+	label := 0
+	for s := 0; s < g.N; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		queue := []uint32{uint32(s)}
+		comp[s] = label
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			adj, _ := g.Neighbors(u)
+			for _, v := range adj {
+				if comp[v] < 0 {
+					comp[v] = label
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range radj[u] {
+				if comp[v] < 0 {
+					comp[v] = label
+					queue = append(queue, v)
+				}
+			}
+		}
+		label++
+	}
+	return comp
+}
+
+func TestMatchesBFSOnRMAT(t *testing.T) {
+	p := rmat.PaperParams(10, 3*(1<<10), 0, 5)
+	edges, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(4, p.NumVertices(), edges, false)
+	comp := Components(4, g)
+	ref := bfsComponents(g)
+	// The two labelings must induce the same partition.
+	seen := map[uint32]int{}
+	for u := range comp {
+		if r, ok := seen[comp[u]]; ok {
+			if r != ref[u] {
+				t.Fatalf("vertex %d: SV label %d maps to ref %d and %d", u, comp[u], r, ref[u])
+			}
+		} else {
+			seen[comp[u]] = ref[u]
+		}
+	}
+	refCount := 0
+	for _, r := range ref {
+		if r+1 > refCount {
+			refCount = r + 1
+		}
+	}
+	if Count(comp) != refCount {
+		t.Fatalf("component count %d != reference %d", Count(comp), refCount)
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	r := xrand.New(8)
+	var es [][2]uint32
+	for i := 0; i < 3000; i++ {
+		es = append(es, [2]uint32{r.Uint32n(500), r.Uint32n(500)})
+	}
+	g := graphOf(500, true, es...)
+	c1 := Components(1, g)
+	c8 := Components(8, g)
+	// Partitions must agree (labels are canonical minima, so they must
+	// be identical).
+	for u := range c1 {
+		if c1[u] != c8[u] {
+			t.Fatalf("labels differ at %d: %d vs %d", u, c1[u], c8[u])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	g := graphOf(0, true)
+	comp := Components(2, g)
+	if len(comp) != 0 || Count(comp) != 0 {
+		t.Fatal("empty graph mishandled")
+	}
+}

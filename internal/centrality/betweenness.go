@@ -1,0 +1,190 @@
+// Package centrality implements betweenness centrality following Brandes'
+// algorithm, parallelized as in the paper's prior work (Bader & Madduri,
+// ICPP 2006) and extended with the paper's temporal-path formulation:
+// the graph traversal stage is modified to follow only temporal paths —
+// sequences of edges with strictly increasing time labels — "while the
+// dependency-accumulation stage remains unchanged."
+//
+// The exact algorithm traverses from every vertex; the approximate
+// variant of Figure 11 traverses from a random sample of sources and
+// extrapolates the scores.
+package centrality
+
+import (
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/xrand"
+)
+
+// Options configures a betweenness computation.
+type Options struct {
+	// Temporal, when set, restricts traversal to temporal shortest
+	// paths: an edge (v, w, t) extends a path ending at v only if t is
+	// strictly greater than the label of the edge that reached v (any
+	// edge may leave the source).
+	Temporal bool
+	// Sources, when non-nil, lists the traversal roots (approximate
+	// betweenness); nil means every vertex (exact).
+	Sources []edge.ID
+	// Normalize scales scores by n/|Sources| to extrapolate sampled
+	// scores to the full graph, as in the paper's approximate variant.
+	Normalize bool
+}
+
+// SampleSources draws k distinct random vertices of g with degree > 0
+// when possible (traversals from isolated vertices contribute nothing).
+func SampleSources(g *csr.Graph, k int, seed uint64) []edge.ID {
+	r := xrand.New(seed)
+	if k > g.N {
+		k = g.N
+	}
+	seen := make(map[edge.ID]bool, k)
+	out := make([]edge.ID, 0, k)
+	attempts := 0
+	for len(out) < k && attempts < 64*k {
+		attempts++
+		v := edge.ID(r.Uint32n(uint32(g.N)))
+		if seen[v] {
+			continue
+		}
+		if g.Degree(v) == 0 && attempts < 32*k {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// Betweenness computes (approximate) betweenness centrality scores. The
+// source set is partitioned among workers; each worker accumulates into a
+// private score vector, reduced at the end — the coarse-grained
+// parallelization that scales best when |Sources| >= workers.
+func Betweenness(workers int, g *csr.Graph, opt Options) []float64 {
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	sources := opt.Sources
+	if sources == nil {
+		sources = make([]edge.ID, g.N)
+		for i := range sources {
+			sources[i] = edge.ID(i)
+		}
+	}
+	if len(sources) == 0 {
+		return make([]float64, g.N)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	partial := make([][]float64, workers)
+	par.Workers(workers, func(id int) {
+		bc := make([]float64, g.N)
+		st := newBrandesState(g.N)
+		for i := id; i < len(sources); i += workers {
+			st.run(g, sources[i], opt.Temporal, bc)
+		}
+		partial[id] = bc
+	})
+	out := partial[0]
+	for w := 1; w < workers; w++ {
+		p := partial[w]
+		par.ForBlock(workers, g.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] += p[i]
+			}
+		})
+	}
+	if opt.Normalize && len(sources) < g.N {
+		scale := float64(g.N) / float64(len(sources))
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// brandesState holds per-worker scratch reused across sources.
+type brandesState struct {
+	dist   []int32
+	sigma  []float64
+	delta  []float64
+	arrive []uint32 // temporal: label of the edge that reached v
+	order  []uint32 // visit order (stack)
+	preds  [][]uint32
+}
+
+func newBrandesState(n int) *brandesState {
+	return &brandesState{
+		dist:   make([]int32, n),
+		sigma:  make([]float64, n),
+		delta:  make([]float64, n),
+		arrive: make([]uint32, n),
+		order:  make([]uint32, 0, n),
+		preds:  make([][]uint32, n),
+	}
+}
+
+// run performs one Brandes traversal from s, accumulating dependencies
+// into bc.
+func (st *brandesState) run(g *csr.Graph, s edge.ID, temporal bool, bc []float64) {
+	n := g.N
+	for i := 0; i < n; i++ {
+		st.dist[i] = -1
+		st.sigma[i] = 0
+		st.delta[i] = 0
+		st.preds[i] = st.preds[i][:0]
+	}
+	st.order = st.order[:0]
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	st.arrive[s] = 0
+
+	frontier := []uint32{uint32(s)}
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		var next []uint32
+		for _, u := range frontier {
+			st.order = append(st.order, u)
+			adj, ts := g.Neighbors(u)
+			for i, v := range adj {
+				if temporal && u != uint32(s) && ts[i] <= st.arrive[u] {
+					// Not a temporal continuation: the edge's label must
+					// strictly exceed the label that reached u.
+					continue
+				}
+				switch {
+				case st.dist[v] == -1:
+					st.dist[v] = level
+					st.arrive[v] = ts[i]
+					st.sigma[v] = st.sigma[u]
+					st.preds[v] = append(st.preds[v], u)
+					next = append(next, v)
+				case st.dist[v] == level:
+					st.sigma[v] += st.sigma[u]
+					st.preds[v] = append(st.preds[v], u)
+					// Keep the smallest arrival label among shortest
+					// temporal paths: it admits the most continuations.
+					if temporal && ts[i] < st.arrive[v] {
+						st.arrive[v] = ts[i]
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	// Dependency accumulation in reverse visit order (unchanged from the
+	// static algorithm, as the paper notes).
+	for i := len(st.order) - 1; i >= 0; i-- {
+		w := st.order[i]
+		coeff := (1 + st.delta[w]) / st.sigma[w]
+		for _, v := range st.preds[w] {
+			st.delta[v] += st.sigma[v] * coeff
+		}
+		if w != uint32(s) {
+			bc[w] += st.delta[w]
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+)
+
+func undirected(n int, es ...[3]uint32) *csr.Graph {
+	edges := make([]edge.Edge, len(es))
+	for i, e := range es {
+		edges[i] = edge.Edge{U: e[0], V: e[1], T: e[2]}
+	}
+	return csr.FromEdges(2, n, edges, true)
+}
+
+func approxEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPathGraphExact(t *testing.T) {
+	// Path 0-1-2-3-4: BC (directed both ways counted) of vertex i on a
+	// path of n vertices is 2*(i)*(n-1-i).
+	g := undirected(5, [3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0}, [3]uint32{3, 4, 0})
+	bc := Betweenness(4, g, Options{})
+	want := []float64{0, 6, 8, 6, 0}
+	for i := range want {
+		if !approxEqual(bc[i], want[i]) {
+			t.Fatalf("bc[%d] = %v, want %v (all: %v)", i, bc[i], want[i], bc)
+		}
+	}
+}
+
+func TestStarGraphExact(t *testing.T) {
+	// Star with hub 0 and 4 leaves: hub lies on all 4*3 leaf pairs.
+	g := undirected(5, [3]uint32{0, 1, 0}, [3]uint32{0, 2, 0}, [3]uint32{0, 3, 0}, [3]uint32{0, 4, 0})
+	bc := Betweenness(2, g, Options{})
+	if !approxEqual(bc[0], 12) {
+		t.Fatalf("hub bc = %v, want 12", bc[0])
+	}
+	for i := 1; i < 5; i++ {
+		if !approxEqual(bc[i], 0) {
+			t.Fatalf("leaf bc[%d] = %v, want 0", i, bc[i])
+		}
+	}
+}
+
+func TestSigmaSplitting(t *testing.T) {
+	// Diamond 0-1-3, 0-2-3: two shortest paths 0..3, each middle vertex
+	// carries half of each s-t dependency.
+	g := undirected(4,
+		[3]uint32{0, 1, 0}, [3]uint32{0, 2, 0}, [3]uint32{1, 3, 0}, [3]uint32{2, 3, 0})
+	bc := Betweenness(1, g, Options{})
+	if !approxEqual(bc[1], 1) || !approxEqual(bc[2], 1) {
+		t.Fatalf("diamond bc = %v, want middles = 1", bc)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	p := rmat.PaperParams(9, 5*(1<<9), 10, 3)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(4, p.NumVertices(), edgesL, true)
+	b1 := Betweenness(1, g, Options{})
+	b8 := Betweenness(8, g, Options{})
+	for i := range b1 {
+		if math.Abs(b1[i]-b8[i]) > 1e-6*(1+math.Abs(b1[i])) {
+			t.Fatalf("bc[%d] differs across workers: %v vs %v", i, b1[i], b8[i])
+		}
+	}
+}
+
+func TestTemporalRespectsOrdering(t *testing.T) {
+	// Path 0-1-2 with decreasing labels: 0->1 @50, 1->2 @10. The temporal
+	// path 0->1->2 is invalid (10 <= 50), so 1 carries no dependency.
+	g := undirected(3, [3]uint32{0, 1, 50}, [3]uint32{1, 2, 10})
+	static := Betweenness(1, g, Options{})
+	if !approxEqual(static[1], 2) {
+		t.Fatalf("static middle bc = %v, want 2", static[1])
+	}
+	temporal := Betweenness(1, g, Options{Temporal: true})
+	// Temporally: 0->1 ok, 1->2 from 0 is blocked; 2->1 @10 then 1->0 @50
+	// is a valid increasing path. So the middle vertex carries only the
+	// 2->0 dependency.
+	if !approxEqual(temporal[1], 1) {
+		t.Fatalf("temporal middle bc = %v, want 1", temporal[1])
+	}
+}
+
+func TestTemporalIncreasingPathWorks(t *testing.T) {
+	g := undirected(3, [3]uint32{0, 1, 10}, [3]uint32{1, 2, 50})
+	temporal := Betweenness(1, g, Options{Temporal: true})
+	// 0->1->2 valid (50 > 10); 2->1->0 invalid (10 <= 50).
+	if !approxEqual(temporal[1], 1) {
+		t.Fatalf("temporal middle bc = %v, want 1", temporal[1])
+	}
+}
+
+func TestApproximateSampling(t *testing.T) {
+	p := rmat.PaperParams(10, 8*(1<<10), 20, 11)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(4, p.NumVertices(), edgesL, true)
+	exact := Betweenness(0, g, Options{})
+	srcs := SampleSources(g, 256, 7)
+	if len(srcs) != 256 {
+		t.Fatalf("sampled %d sources", len(srcs))
+	}
+	approx := Betweenness(0, g, Options{Sources: srcs, Normalize: true})
+	// The top exact vertex should rank highly under approximation.
+	argmax := 0
+	for i := range exact {
+		if exact[i] > exact[argmax] {
+			argmax = i
+		}
+	}
+	rank := 0
+	for i := range approx {
+		if approx[i] > approx[argmax] {
+			rank++
+		}
+	}
+	if rank > g.N/20 {
+		t.Fatalf("exact top vertex ranked %d under approximation", rank)
+	}
+}
+
+func TestSampleSourcesDistinct(t *testing.T) {
+	p := rmat.PaperParams(8, 4*(1<<8), 0, 5)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(2, p.NumVertices(), edgesL, true)
+	srcs := SampleSources(g, 50, 1)
+	seen := map[edge.ID]bool{}
+	for _, s := range srcs {
+		if seen[s] {
+			t.Fatalf("duplicate source %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestEmptySources(t *testing.T) {
+	g := undirected(3, [3]uint32{0, 1, 0})
+	bc := Betweenness(2, g, Options{Sources: []edge.ID{}})
+	for _, v := range bc {
+		if v != 0 {
+			t.Fatal("empty source set must give zero scores")
+		}
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := undirected(4, [3]uint32{0, 1, 0}, [3]uint32{2, 3, 0})
+	bc := Betweenness(2, g, Options{})
+	for i, v := range bc {
+		if !approxEqual(v, 0) {
+			t.Fatalf("bc[%d] = %v on disjoint pairs", i, v)
+		}
+	}
+}

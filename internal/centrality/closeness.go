@@ -1,0 +1,71 @@
+package centrality
+
+import (
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+)
+
+// ClosenessScores holds the two standard closeness variants for a vertex.
+type ClosenessScores struct {
+	// Classic is (reachable-1) / sum-of-distances within the vertex's
+	// component (0 for isolated vertices).
+	Classic float64
+	// Harmonic is the sum of 1/d(v,t) over reachable t != v, which is
+	// well-defined on disconnected graphs.
+	Harmonic float64
+}
+
+// Closeness computes closeness centrality for each vertex in sources
+// (one BFS per source, sources partitioned among workers). The result is
+// indexed like sources.
+func Closeness(workers int, g *csr.Graph, sources []edge.ID) []ClosenessScores {
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	out := make([]ClosenessScores, len(sources))
+	if len(sources) == 0 {
+		return out
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	par.Workers(workers, func(id int) {
+		dist := make([]int32, g.N)
+		var frontier, next []uint32
+		for i := id; i < len(sources); i += workers {
+			s := sources[i]
+			for j := range dist {
+				dist[j] = -1
+			}
+			dist[s] = 0
+			frontier = frontier[:0]
+			frontier = append(frontier, uint32(s))
+			var sum int64
+			var harmonic float64
+			reached := 0
+			for d := int32(1); len(frontier) > 0; d++ {
+				next = next[:0]
+				for _, u := range frontier {
+					adj, _ := g.Neighbors(u)
+					for _, v := range adj {
+						if dist[v] == -1 {
+							dist[v] = d
+							next = append(next, v)
+						}
+					}
+				}
+				sum += int64(d) * int64(len(next))
+				harmonic += float64(len(next)) / float64(d)
+				reached += len(next)
+				frontier, next = next, frontier
+			}
+			sc := ClosenessScores{Harmonic: harmonic}
+			if sum > 0 {
+				sc.Classic = float64(reached) / float64(sum)
+			}
+			out[i] = sc
+		}
+	})
+	return out
+}

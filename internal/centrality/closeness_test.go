@@ -1,0 +1,144 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"snapdyn/internal/edge"
+)
+
+func TestClosenessPath(t *testing.T) {
+	// Path 0-1-2-3-4. Distances from 0: 1,2,3,4 -> sum 10, classic 4/10.
+	g := undirected(5, [3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0}, [3]uint32{3, 4, 0})
+	scores := Closeness(2, g, []edge.ID{0, 2})
+	if !approxEqual(scores[0].Classic, 0.4) {
+		t.Fatalf("classic closeness of end = %v, want 0.4", scores[0].Classic)
+	}
+	// From middle: distances 1,1,2,2 -> sum 6, classic 4/6.
+	if !approxEqual(scores[1].Classic, 4.0/6.0) {
+		t.Fatalf("classic closeness of middle = %v, want %v", scores[1].Classic, 4.0/6.0)
+	}
+	// Harmonic from end: 1 + 1/2 + 1/3 + 1/4.
+	wantH := 1.0 + 0.5 + 1.0/3 + 0.25
+	if !approxEqual(scores[0].Harmonic, wantH) {
+		t.Fatalf("harmonic = %v, want %v", scores[0].Harmonic, wantH)
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	g := undirected(4, [3]uint32{0, 1, 0}) // 2 and 3 isolated
+	scores := Closeness(1, g, []edge.ID{0, 2})
+	if !approxEqual(scores[0].Classic, 1.0) || !approxEqual(scores[0].Harmonic, 1.0) {
+		t.Fatalf("pair closeness = %+v", scores[0])
+	}
+	if scores[1].Classic != 0 || scores[1].Harmonic != 0 {
+		t.Fatalf("isolated closeness = %+v", scores[1])
+	}
+}
+
+func TestClosenessEmptySources(t *testing.T) {
+	g := undirected(3, [3]uint32{0, 1, 0})
+	if got := Closeness(2, g, nil); len(got) != 0 {
+		t.Fatal("non-empty result for empty sources")
+	}
+}
+
+func TestClosenessCenterBeatsPeriphery(t *testing.T) {
+	// Star: hub must have the highest closeness.
+	g := undirected(6,
+		[3]uint32{0, 1, 0}, [3]uint32{0, 2, 0}, [3]uint32{0, 3, 0},
+		[3]uint32{0, 4, 0}, [3]uint32{0, 5, 0})
+	scores := Closeness(2, g, []edge.ID{0, 1})
+	if scores[0].Classic <= scores[1].Classic {
+		t.Fatalf("hub %v <= leaf %v", scores[0].Classic, scores[1].Classic)
+	}
+}
+
+func TestClosenessWorkerInvariance(t *testing.T) {
+	g := undirected(8,
+		[3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0},
+		[3]uint32{3, 4, 0}, [3]uint32{4, 5, 0}, [3]uint32{0, 6, 0})
+	srcs := []edge.ID{0, 1, 2, 3, 4, 5, 6, 7}
+	a := Closeness(1, g, srcs)
+	b := Closeness(4, g, srcs)
+	for i := range a {
+		if math.Abs(a[i].Classic-b[i].Classic) > 1e-12 ||
+			math.Abs(a[i].Harmonic-b[i].Harmonic) > 1e-12 {
+			t.Fatalf("source %d differs across workers", i)
+		}
+	}
+}
+
+func TestStressPath(t *testing.T) {
+	// Path: unique shortest paths => stress == betweenness.
+	g := undirected(5, [3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0}, [3]uint32{3, 4, 0})
+	stress := Stress(2, g, Options{})
+	want := []float64{0, 6, 8, 6, 0}
+	for i := range want {
+		if !approxEqual(stress[i], want[i]) {
+			t.Fatalf("stress[%d] = %v, want %v", i, stress[i], want[i])
+		}
+	}
+}
+
+func TestStressDiamondCountsPaths(t *testing.T) {
+	// Diamond 0-1-3, 0-2-3: each middle lies on exactly 1 path per
+	// direction of (0,3) -> stress 2, while betweenness is 1.
+	g := undirected(4,
+		[3]uint32{0, 1, 0}, [3]uint32{0, 2, 0}, [3]uint32{1, 3, 0}, [3]uint32{2, 3, 0})
+	stress := Stress(1, g, Options{})
+	if !approxEqual(stress[1], 2) || !approxEqual(stress[2], 2) {
+		t.Fatalf("diamond stress = %v, want middles = 2", stress)
+	}
+	bc := Betweenness(1, g, Options{})
+	if !approxEqual(bc[1], 1) {
+		t.Fatalf("diamond bc = %v", bc[1])
+	}
+}
+
+func TestStressTemporal(t *testing.T) {
+	// Decreasing labels kill the forward temporal path, as in the
+	// betweenness test.
+	g := undirected(3, [3]uint32{0, 1, 50}, [3]uint32{1, 2, 10})
+	stress := Stress(1, g, Options{Temporal: true})
+	if !approxEqual(stress[1], 1) {
+		t.Fatalf("temporal stress middle = %v, want 1", stress[1])
+	}
+}
+
+func TestStressWorkerInvariance(t *testing.T) {
+	g := undirected(6,
+		[3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0},
+		[3]uint32{1, 4, 0}, [3]uint32{4, 3, 0}, [3]uint32{3, 5, 0})
+	a := Stress(1, g, Options{})
+	b := Stress(4, g, Options{})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("stress[%d] differs across workers: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStressEmptySources(t *testing.T) {
+	g := undirected(3, [3]uint32{0, 1, 0})
+	got := Stress(2, g, Options{Sources: []edge.ID{}})
+	for _, v := range got {
+		if v != 0 {
+			t.Fatal("empty sources must give zeros")
+		}
+	}
+}
+
+func TestStressSampledNormalized(t *testing.T) {
+	g := undirected(5, [3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0}, [3]uint32{3, 4, 0})
+	exact := Stress(1, g, Options{})
+	// All sources listed explicitly should equal exact (no scaling since
+	// len == n).
+	all := []edge.ID{0, 1, 2, 3, 4}
+	viaSources := Stress(2, g, Options{Sources: all, Normalize: true})
+	for i := range exact {
+		if !approxEqual(exact[i], viaSources[i]) {
+			t.Fatalf("stress[%d]: %v != %v", i, viaSources[i], exact[i])
+		}
+	}
+}

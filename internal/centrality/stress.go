@@ -1,0 +1,118 @@
+package centrality
+
+import (
+	"snapdyn/internal/csr"
+	"snapdyn/internal/par"
+)
+
+// Stress computes stress centrality: the absolute number of shortest
+// paths passing through each vertex (betweenness without the σ_st
+// normalization), one of the classic indices the paper lists alongside
+// closeness and betweenness. The Options semantics match Betweenness:
+// temporal restriction, sampled sources, extrapolation.
+//
+// The accumulation uses the path-count recurrence
+// P(v) = Σ_{w ∈ succ(v)} (1 + P(w)), so that σ_sv · P(v) counts the
+// shortest s-t paths through v over all t.
+func Stress(workers int, g *csr.Graph, opt Options) []float64 {
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	sources := opt.Sources
+	if sources == nil {
+		sources = make([]uint32, g.N)
+		for i := range sources {
+			sources[i] = uint32(i)
+		}
+	}
+	if len(sources) == 0 {
+		return make([]float64, g.N)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	partial := make([][]float64, workers)
+	par.Workers(workers, func(id int) {
+		sc := make([]float64, g.N)
+		st := newBrandesState(g.N)
+		for i := id; i < len(sources); i += workers {
+			st.runStress(g, sources[i], opt.Temporal, sc)
+		}
+		partial[id] = sc
+	})
+	out := partial[0]
+	for w := 1; w < workers; w++ {
+		p := partial[w]
+		par.ForBlock(workers, g.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] += p[i]
+			}
+		})
+	}
+	if opt.Normalize && len(sources) < g.N {
+		scale := float64(g.N) / float64(len(sources))
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// runStress performs one stress-accumulation traversal from s. It reuses
+// the Brandes BFS phase (identical DAG construction, including the
+// temporal-path restriction) and replaces the dependency accumulation
+// with the path-count recurrence.
+func (st *brandesState) runStress(g *csr.Graph, s uint32, temporal bool, stress []float64) {
+	n := g.N
+	for i := 0; i < n; i++ {
+		st.dist[i] = -1
+		st.sigma[i] = 0
+		st.delta[i] = 0
+		st.preds[i] = st.preds[i][:0]
+	}
+	st.order = st.order[:0]
+	st.dist[s] = 0
+	st.sigma[s] = 1
+	st.arrive[s] = 0
+
+	frontier := []uint32{s}
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		var next []uint32
+		for _, u := range frontier {
+			st.order = append(st.order, u)
+			adj, ts := g.Neighbors(u)
+			for i, v := range adj {
+				if temporal && u != s && ts[i] <= st.arrive[u] {
+					continue
+				}
+				switch {
+				case st.dist[v] == -1:
+					st.dist[v] = level
+					st.arrive[v] = ts[i]
+					st.sigma[v] = st.sigma[u]
+					st.preds[v] = append(st.preds[v], u)
+					next = append(next, v)
+				case st.dist[v] == level:
+					st.sigma[v] += st.sigma[u]
+					st.preds[v] = append(st.preds[v], u)
+					if temporal && ts[i] < st.arrive[v] {
+						st.arrive[v] = ts[i]
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	// P(v) accumulation in reverse visit order; delta holds P.
+	for i := len(st.order) - 1; i >= 0; i-- {
+		w := st.order[i]
+		for _, v := range st.preds[w] {
+			st.delta[v] += 1 + st.delta[w]
+		}
+		if w != s {
+			stress[w] += st.sigma[w] * st.delta[w]
+		}
+	}
+}

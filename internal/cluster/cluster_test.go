@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/xrand"
+)
+
+func undirectedGraph(n int, es ...[2]uint32) *csr.Graph {
+	edges := make([]edge.Edge, len(es))
+	for i, e := range es {
+		edges[i] = edge.Edge{U: e[0], V: e[1]}
+	}
+	return csr.FromEdges(1, n, edges, true)
+}
+
+func TestTriangle(t *testing.T) {
+	g := undirectedGraph(3, [2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 0})
+	c := Compute(2, g)
+	if c.TotalTriangles != 1 {
+		t.Fatalf("triangles = %d, want 1", c.TotalTriangles)
+	}
+	for v := 0; v < 3; v++ {
+		if c.Triangles[v] != 1 {
+			t.Fatalf("Triangles[%d] = %d", v, c.Triangles[v])
+		}
+		if math.Abs(c.Local[v]-1.0) > 1e-12 {
+			t.Fatalf("Local[%d] = %v, want 1", v, c.Local[v])
+		}
+	}
+	if math.Abs(c.GlobalAverage-1.0) > 1e-12 {
+		t.Fatalf("global = %v", c.GlobalAverage)
+	}
+}
+
+func TestStarHasNoTriangles(t *testing.T) {
+	g := undirectedGraph(5, [2]uint32{0, 1}, [2]uint32{0, 2}, [2]uint32{0, 3}, [2]uint32{0, 4})
+	c := Compute(2, g)
+	if c.TotalTriangles != 0 || c.GlobalAverage != 0 {
+		t.Fatalf("star stats wrong: %+v", c)
+	}
+}
+
+func TestK4(t *testing.T) {
+	// Complete graph on 4 vertices: 4 triangles, all coefficients 1.
+	var es [][2]uint32
+	for u := uint32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			es = append(es, [2]uint32{u, v})
+		}
+	}
+	g := undirectedGraph(4, es...)
+	c := Compute(1, g)
+	if c.TotalTriangles != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", c.TotalTriangles)
+	}
+	for v := 0; v < 4; v++ {
+		if c.Triangles[v] != 3 || math.Abs(c.Local[v]-1) > 1e-12 {
+			t.Fatalf("K4 vertex %d: %d triangles, local %v", v, c.Triangles[v], c.Local[v])
+		}
+	}
+}
+
+func TestSquareWithDiagonal(t *testing.T) {
+	// 0-1-2-3-0 plus diagonal 0-2: triangles (0,1,2) and (0,2,3).
+	g := undirectedGraph(4,
+		[2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3}, [2]uint32{3, 0}, [2]uint32{0, 2})
+	c := Compute(2, g)
+	if c.TotalTriangles != 2 {
+		t.Fatalf("triangles = %d, want 2", c.TotalTriangles)
+	}
+	if c.Triangles[0] != 2 || c.Triangles[2] != 2 || c.Triangles[1] != 1 || c.Triangles[3] != 1 {
+		t.Fatalf("per-vertex = %v", c.Triangles)
+	}
+	// Vertex 1: degree 2, 1 triangle -> coefficient 1.
+	if math.Abs(c.Local[1]-1) > 1e-12 {
+		t.Fatalf("Local[1] = %v", c.Local[1])
+	}
+	// Vertex 0: degree 3, 2 triangles -> 2*2/(3*2) = 2/3.
+	if math.Abs(c.Local[0]-2.0/3) > 1e-12 {
+		t.Fatalf("Local[0] = %v", c.Local[0])
+	}
+}
+
+func TestDuplicatesAndLoopsIgnored(t *testing.T) {
+	g := undirectedGraph(3,
+		[2]uint32{0, 1}, [2]uint32{0, 1}, // parallel
+		[2]uint32{1, 2}, [2]uint32{2, 0},
+		[2]uint32{1, 1}, // loop
+	)
+	c := Compute(1, g)
+	if c.TotalTriangles != 1 {
+		t.Fatalf("triangles = %d, want 1 (dups/loops ignored)", c.TotalTriangles)
+	}
+	if math.Abs(c.Local[1]-1) > 1e-12 {
+		t.Fatalf("Local[1] = %v, want 1 (simple degree 2)", c.Local[1])
+	}
+}
+
+// bruteTriangles counts triangles by scanning all triples.
+func bruteTriangles(n int, es [][2]uint32) int64 {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range es {
+		if e[0] != e[1] {
+			adj[e[0]][e[1]] = true
+			adj[e[1]][e[0]] = true
+		}
+	}
+	var c int64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !adj[u][v] {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if adj[u][w] && adj[v][w] {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestMatchesBruteForceProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 6 + int(r.Uint32n(14))
+		var es [][2]uint32
+		for i := 0; i < 3*n; i++ {
+			es = append(es, [2]uint32{r.Uint32n(uint32(n)), r.Uint32n(uint32(n))})
+		}
+		g := undirectedGraph(n, es...)
+		c := Compute(2, g)
+		return c.TotalTriangles == bruteTriangles(n, es)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	p := rmat.PaperParams(9, 6*(1<<9), 0, 5)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	a := Compute(1, g)
+	b := Compute(8, g)
+	if a.TotalTriangles != b.TotalTriangles {
+		t.Fatalf("totals differ: %d vs %d", a.TotalTriangles, b.TotalTriangles)
+	}
+	for v := range a.Triangles {
+		if a.Triangles[v] != b.Triangles[v] {
+			t.Fatalf("Triangles[%d] differs", v)
+		}
+	}
+}
+
+func TestSmallWorldHasClustering(t *testing.T) {
+	// R-MAT with a=0.6 produces dense subgraphs: the average clustering
+	// coefficient must be far above an Erdos-Renyi graph of equal density.
+	p := rmat.PaperParams(11, 8*(1<<11), 0, 9)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	c := Compute(0, g)
+	if c.TotalTriangles == 0 {
+		t.Fatal("no triangles in an R-MAT graph")
+	}
+	if c.GlobalAverage < 0.01 {
+		t.Fatalf("average clustering %v suspiciously low", c.GlobalAverage)
+	}
+}

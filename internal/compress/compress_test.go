@@ -1,0 +1,203 @@
+package compress
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/traversal"
+	"snapdyn/internal/xrand"
+)
+
+func sampleCSR(t testing.TB, scale int, seed uint64) *csr.Graph {
+	t.Helper()
+	p := rmat.PaperParams(scale, 8<<scale, 100, seed)
+	edges, err := rmat.Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr.FromEdges(0, p.NumVertices(), edges, true)
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := sampleCSR(t, 10, 3)
+	cg := FromCSR(4, g)
+	if cg.NumEdges() != g.NumEdges() {
+		t.Fatalf("arc count %d != %d", cg.NumEdges(), g.NumEdges())
+	}
+	back := cg.ToCSR(4)
+	for u := 0; u < g.N; u++ {
+		adj, ts := g.Neighbors(edge.ID(u))
+		type arc struct{ v, t uint32 }
+		want := make([]arc, len(adj))
+		for i := range adj {
+			want[i] = arc{adj[i], ts[i]}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].v != want[b].v {
+				return want[a].v < want[b].v
+			}
+			return want[a].t < want[b].t
+		})
+		badj, bts := back.Neighbors(edge.ID(u))
+		got := make([]arc, len(badj))
+		for i := range badj {
+			got[i] = arc{badj[i], bts[i]}
+		}
+		sort.Slice(got, func(a, b int) bool {
+			if got[a].v != got[b].v {
+				return got[a].v < got[b].v
+			}
+			return got[a].t < got[b].t
+		})
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d degree %d != %d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d arc %d: %v != %v", u, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNeighborsSortedAndComplete(t *testing.T) {
+	g := sampleCSR(t, 9, 7)
+	cg := FromCSR(2, g)
+	for u := 0; u < g.N; u++ {
+		var prev int64 = -1
+		count := 0
+		cg.Neighbors(edge.ID(u), func(v edge.ID, _ uint32) bool {
+			if int64(v) < prev {
+				t.Fatalf("vertex %d: neighbors out of order", u)
+			}
+			prev = int64(v)
+			count++
+			return true
+		})
+		if count != int(g.Degree(edge.ID(u))) {
+			t.Fatalf("vertex %d: decoded %d arcs, want %d", u, count, g.Degree(edge.ID(u)))
+		}
+		if cg.Degree(edge.ID(u)) != count {
+			t.Fatalf("vertex %d: Degree() disagrees with decode", u)
+		}
+	}
+}
+
+func TestCompressionSavesSpace(t *testing.T) {
+	g := sampleCSR(t, 12, 11)
+	cg := FromCSR(0, g)
+	ratio := cg.CompressionRatio()
+	if ratio <= 1.0 {
+		t.Fatalf("compression ratio %.2f, want > 1 on a small-world graph", ratio)
+	}
+	t.Logf("compression ratio: %.2fx (%d arcs in %d bytes)", ratio, cg.NumEdges(), cg.SizeBytes())
+}
+
+func TestEarlyStop(t *testing.T) {
+	g := sampleCSR(t, 8, 13)
+	cg := FromCSR(2, g)
+	// Find a vertex with degree >= 3.
+	for u := 0; u < g.N; u++ {
+		if cg.Degree(edge.ID(u)) >= 3 {
+			count := 0
+			cg.Neighbors(edge.ID(u), func(edge.ID, uint32) bool {
+				count++
+				return count < 2
+			})
+			if count != 2 {
+				t.Fatalf("early stop visited %d", count)
+			}
+			return
+		}
+	}
+	t.Skip("no vertex with degree >= 3")
+}
+
+func TestBFSMatchesCSR(t *testing.T) {
+	g := sampleCSR(t, 10, 17)
+	cg := FromCSR(0, g)
+	for _, src := range []edge.ID{0, 5, 1000} {
+		want := traversal.BFS(0, g, src)
+		level, reached := cg.BFS(2, src)
+		if reached != want.Reached {
+			t.Fatalf("src %d: reached %d, want %d", src, reached, want.Reached)
+		}
+		for v := range level {
+			if level[v] != want.Level[v] {
+				t.Fatalf("src %d: level[%d] = %d, want %d", src, v, level[v], want.Level[v])
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	g := csr.FromEdges(1, 3, nil, false)
+	cg := FromCSR(2, g)
+	if cg.NumEdges() != 0 {
+		t.Fatal("empty graph has arcs")
+	}
+	if cg.CompressionRatio() != 1 {
+		t.Fatal("empty ratio should be 1")
+	}
+	g2 := csr.FromEdges(1, 3, []edge.Edge{{U: 2, V: 0, T: 9}}, false)
+	cg2 := FromCSR(2, g2)
+	found := false
+	cg2.Neighbors(2, func(v edge.ID, t32 uint32) bool {
+		found = v == 0 && t32 == 9
+		return true
+	})
+	if !found {
+		t.Fatal("backward gap (2 -> 0) decoded wrong")
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	if err := quick.Check(func(d int64) bool {
+		return unzigzag(zigzag(d)) == d
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomGraphsRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 16 + int(r.Uint32n(32))
+		var edges []edge.Edge
+		for i := 0; i < 200; i++ {
+			edges = append(edges, edge.Edge{
+				U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n)), T: r.Uint32n(50),
+			})
+		}
+		g := csr.FromEdges(1, n, edges, false)
+		cg := FromCSR(1, g)
+		back := cg.ToCSR(1)
+		if back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			if back.Degree(edge.ID(u)) != g.Degree(edge.ID(u)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecodeNeighbors(b *testing.B) {
+	g := sampleCSR(b, 14, 5)
+	cg := FromCSR(0, g)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		u := edge.ID(i & (g.N - 1))
+		cg.Neighbors(u, func(v edge.ID, _ uint32) bool { sink++; return true })
+	}
+	_ = sink
+}

@@ -1,0 +1,120 @@
+// Package csr builds compressed sparse row (adjacency array) snapshots of
+// a graph, the cache-friendly static representation the paper's kernels
+// (BFS, connected components, betweenness) traverse. Construction is
+// parallel: a degree-counting pass, an exclusive prefix sum over offsets,
+// and a scatter pass with per-vertex atomic cursors.
+package csr
+
+import (
+	"sync/atomic"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/psort"
+)
+
+// Graph is an immutable CSR snapshot. Arc i of vertex u is
+// (Adj[Offsets[u]+i], TS[Offsets[u]+i]).
+type Graph struct {
+	N       int
+	Offsets []int64 // length N+1
+	Adj     []uint32
+	TS      []uint32 // time labels, parallel to Adj
+}
+
+// NumEdges returns the number of stored arcs.
+func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) }
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u edge.ID) int64 { return g.Offsets[u+1] - g.Offsets[u] }
+
+// Neighbors returns u's adjacency and time-label slices (views, do not
+// modify).
+func (g *Graph) Neighbors(u edge.ID) (adj []uint32, ts []uint32) {
+	lo, hi := g.Offsets[u], g.Offsets[u+1]
+	return g.Adj[lo:hi], g.TS[lo:hi]
+}
+
+// FromEdges builds a CSR over n vertices from an edge list in parallel.
+// When undirected is set, each edge contributes both arcs.
+func FromEdges(workers, n int, edges []edge.Edge, undirected bool) *Graph {
+	counts := make([]int64, n+1)
+	par.ForBlock(workers, len(edges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := &edges[i]
+			atomic.AddInt64(&counts[e.U], 1)
+			if undirected {
+				atomic.AddInt64(&counts[e.V], 1)
+			}
+		}
+	})
+	total := psort.ExclusiveScan(workers, counts)
+	g := &Graph{
+		N:       n,
+		Offsets: append([]int64(nil), counts...),
+		Adj:     make([]uint32, total),
+		TS:      make([]uint32, total),
+	}
+	// counts now holds the starting offset of each vertex; reuse it as
+	// the scatter cursor array.
+	cursors := counts
+	par.ForBlock(workers, len(edges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := &edges[i]
+			p := atomic.AddInt64(&cursors[e.U], 1) - 1
+			g.Adj[p] = e.V
+			g.TS[p] = e.T
+			if undirected {
+				q := atomic.AddInt64(&cursors[e.V], 1) - 1
+				g.Adj[q] = e.U
+				g.TS[q] = e.T
+			}
+		}
+	})
+	return g
+}
+
+// storeView is the minimal dynamic-graph surface csr needs; it matches
+// dyngraph.Store without importing it.
+type storeView interface {
+	NumVertices() int
+	Degree(u edge.ID) int
+	Neighbors(u edge.ID, fn func(v edge.ID, t uint32) bool)
+}
+
+// FromStore snapshots a dynamic graph store into CSR form in parallel.
+func FromStore(workers int, s storeView) *Graph {
+	n := s.NumVertices()
+	counts := make([]int64, n+1)
+	par.ForDynamic(workers, n, 256, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			counts[u] = int64(s.Degree(edge.ID(u)))
+		}
+	})
+	total := psort.ExclusiveScan(workers, counts)
+	g := &Graph{
+		N:       n,
+		Offsets: counts,
+		Adj:     make([]uint32, total),
+		TS:      make([]uint32, total),
+	}
+	par.ForDynamic(workers, n, 256, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			p := g.Offsets[u]
+			s.Neighbors(edge.ID(u), func(v edge.ID, t uint32) bool {
+				g.Adj[p] = v
+				g.TS[p] = t
+				p++
+				return true
+			})
+		}
+	})
+	return g
+}
+
+// MaxDegree returns the largest out-degree, used by degree-aware kernels.
+func (g *Graph) MaxDegree() int64 {
+	return par.Reduce(0, g.N, int64(0),
+		func(acc int64, u int) int64 { return max(acc, g.Degree(edge.ID(u))) },
+		func(a, b int64) int64 { return max(a, b) })
+}

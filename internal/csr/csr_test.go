@@ -1,0 +1,132 @@
+package csr
+
+import (
+	"sort"
+	"testing"
+
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+)
+
+func sortedNeighbors(g *Graph, u edge.ID) []uint32 {
+	adj, _ := g.Neighbors(u)
+	out := append([]uint32(nil), adj...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestFromEdgesDirected(t *testing.T) {
+	edges := []edge.Edge{
+		{U: 0, V: 1, T: 10}, {U: 0, V: 2, T: 20}, {U: 1, V: 2, T: 30}, {U: 3, V: 0, T: 40},
+	}
+	g := FromEdges(2, 4, edges, false)
+	if g.NumEdges() != 4 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 0 || g.Degree(3) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	nb := sortedNeighbors(g, 0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors of 0 = %v", nb)
+	}
+}
+
+func TestFromEdgesUndirected(t *testing.T) {
+	edges := []edge.Edge{{U: 0, V: 1, T: 5}, {U: 1, V: 2, T: 6}}
+	g := FromEdges(1, 3, edges, true)
+	if g.NumEdges() != 4 {
+		t.Fatalf("m = %d, want 4 arcs", g.NumEdges())
+	}
+	if g.Degree(1) != 2 {
+		t.Fatalf("deg(1) = %d", g.Degree(1))
+	}
+	adj, ts := g.Neighbors(0)
+	if len(adj) != 1 || adj[0] != 1 || ts[0] != 5 {
+		t.Fatalf("neighbors of 0 = %v @%v", adj, ts)
+	}
+}
+
+func TestTimestampsTravel(t *testing.T) {
+	edges := []edge.Edge{{U: 0, V: 1, T: 99}, {U: 0, V: 2, T: 77}}
+	g := FromEdges(1, 3, edges, false)
+	adj, ts := g.Neighbors(0)
+	m := map[uint32]uint32{}
+	for i := range adj {
+		m[adj[i]] = ts[i]
+	}
+	if m[1] != 99 || m[2] != 77 {
+		t.Fatalf("timestamps = %v", m)
+	}
+}
+
+func TestFromStoreMatchesFromEdges(t *testing.T) {
+	p := rmat.PaperParams(10, 5000, 50, 3)
+	edges, err := rmat.Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NumVertices()
+	s := dyngraph.NewDynArr(n, len(edges))
+	dyngraph.InsertAll(s, 4, edges)
+	g1 := FromEdges(4, n, edges, false)
+	g2 := FromStore(4, s)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	for u := 0; u < n; u++ {
+		a := sortedNeighbors(g1, edge.ID(u))
+		b := sortedNeighbors(g2, edge.ID(u))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree differs: %d vs %d", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency differs", u)
+			}
+		}
+	}
+}
+
+func TestParallelBuildDeterministicContent(t *testing.T) {
+	p := rmat.PaperParams(9, 3000, 10, 7)
+	edges, _ := rmat.Generate(0, p)
+	n := p.NumVertices()
+	g1 := FromEdges(1, n, edges, false)
+	g8 := FromEdges(8, n, edges, false)
+	for u := 0; u < n; u++ {
+		a, b := sortedNeighbors(g1, edge.ID(u)), sortedNeighbors(g8, edge.ID(u))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: degree %d vs %d", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency differs across worker counts", u)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := FromEdges(4, 5, nil, false)
+	if g.NumEdges() != 0 || g.N != 5 {
+		t.Fatalf("empty graph wrong: %+v", g)
+	}
+	for u := edge.ID(0); u < 5; u++ {
+		if g.Degree(u) != 0 {
+			t.Fatal("nonzero degree in empty graph")
+		}
+	}
+	if g.MaxDegree() != 0 {
+		t.Fatal("max degree nonzero")
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	edges := []edge.Edge{{U: 2, V: 0}, {U: 2, V: 1}, {U: 2, V: 3}, {U: 0, V: 1}}
+	g := FromEdges(2, 4, edges, false)
+	if g.MaxDegree() != 3 {
+		t.Fatalf("max degree = %d", g.MaxDegree())
+	}
+}

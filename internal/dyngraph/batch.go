@@ -1,0 +1,62 @@
+package dyngraph
+
+import (
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/psort"
+)
+
+// Batched decorates any Store with the paper's batched update strategy:
+// "order the tuples by the vertex identifier and then process all the
+// updates corresponding to each vertex at once." The semi-sort time is the
+// strategy's lower bound (Figure 3 reports it as the batched upper bound
+// on MUPS).
+type Batched struct {
+	Store
+}
+
+var _ Store = (*Batched)(nil)
+
+// NewBatched wraps base with semi-sorted batch application.
+func NewBatched(base Store) *Batched { return &Batched{Store: base} }
+
+// Name implements Store.
+func (s *Batched) Name() string { return "batched(" + s.Store.Name() + ")" }
+
+// ApplyBatch implements Store: semi-sort by source vertex, then apply
+// each vertex's run of updates by a single worker.
+func (s *Batched) ApplyBatch(workers int, batch []edge.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	keys := make([]uint32, len(batch))
+	for i := range batch {
+		keys[i] = batch[i].U
+	}
+	perm := psort.Order(workers, keys)
+	bounds := groupBounds(keys, perm)
+	par.ForDynamic(workers, len(bounds)-1, 8, func(glo, ghi int) {
+		for g := glo; g < ghi; g++ {
+			for i := bounds[g]; i < bounds[g+1]; i++ {
+				up := &batch[perm[i]]
+				if up.Op == edge.Insert {
+					s.Store.Insert(up.U, up.V, up.T)
+				} else {
+					s.Store.DeleteTuple(up.U, up.V, up.T)
+				}
+			}
+		}
+	})
+}
+
+// SemiSort groups a batch by source vertex and returns the permutation
+// and group bounds; exposed so the harness can time the semi-sort alone
+// (the paper's batched upper bound).
+func SemiSort(workers int, batch []edge.Update) (perm []uint32, bounds []int) {
+	keys := make([]uint32, len(batch))
+	for i := range batch {
+		keys[i] = batch[i].U
+	}
+	perm = psort.Order(workers, keys)
+	return perm, groupBounds(keys, perm)
+}

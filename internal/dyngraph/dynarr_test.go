@@ -1,0 +1,233 @@
+package dyngraph
+
+import (
+	"sync"
+	"testing"
+
+	"snapdyn/internal/edge"
+)
+
+func TestDynArrBasic(t *testing.T) {
+	s := NewDynArr(10, 100)
+	if s.Name() != "dyn-arr" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	if s.NumVertices() != 10 {
+		t.Fatalf("n = %d", s.NumVertices())
+	}
+	s.Insert(1, 2, 5)
+	s.Insert(1, 3, 6)
+	s.Insert(2, 1, 7)
+	if s.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3", s.NumEdges())
+	}
+	if s.Degree(1) != 2 || s.Degree(2) != 1 || s.Degree(0) != 0 {
+		t.Fatalf("degrees wrong: %d %d %d", s.Degree(1), s.Degree(2), s.Degree(0))
+	}
+	if !s.Has(1, 2) || !s.Has(1, 3) || s.Has(1, 4) || s.Has(3, 1) {
+		t.Fatal("Has gave wrong answers")
+	}
+}
+
+func TestDynArrDelete(t *testing.T) {
+	s := NewDynArr(4, 16)
+	s.Insert(0, 1, 1)
+	s.Insert(0, 2, 2)
+	if !s.Delete(0, 1) {
+		t.Fatal("delete of existing edge failed")
+	}
+	if s.Delete(0, 1) {
+		t.Fatal("delete of absent edge succeeded")
+	}
+	if s.Degree(0) != 1 || s.Has(0, 1) || !s.Has(0, 2) {
+		t.Fatal("post-delete state wrong")
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1", s.NumEdges())
+	}
+}
+
+func TestDynArrTombstonesAndCompact(t *testing.T) {
+	s := NewDynArr(2, 16)
+	for i := uint32(0); i < 8; i++ {
+		s.Insert(0, i+10, i)
+	}
+	for i := uint32(0); i < 4; i++ {
+		s.Delete(0, i+10)
+	}
+	if s.Slots(0) != 8 {
+		t.Fatalf("slots = %d, want 8 (tombstones retained)", s.Slots(0))
+	}
+	if s.Degree(0) != 4 {
+		t.Fatalf("degree = %d, want 4", s.Degree(0))
+	}
+	s.Compact(0)
+	if s.Slots(0) != 4 {
+		t.Fatalf("slots after compact = %d, want 4", s.Slots(0))
+	}
+	for i := uint32(4); i < 8; i++ {
+		if !s.Has(0, i+10) {
+			t.Fatalf("lost edge 0->%d in compact", i+10)
+		}
+	}
+}
+
+func TestDynArrMultigraph(t *testing.T) {
+	s := NewDynArr(2, 8)
+	s.Insert(0, 1, 1)
+	s.Insert(0, 1, 2)
+	s.Insert(0, 1, 3)
+	if s.Degree(0) != 3 {
+		t.Fatalf("degree = %d, want 3 (multigraph)", s.Degree(0))
+	}
+	s.Delete(0, 1)
+	if s.Degree(0) != 2 || !s.Has(0, 1) {
+		t.Fatal("delete should remove exactly one tuple")
+	}
+}
+
+func TestDynArrResizeGrowth(t *testing.T) {
+	s := NewDynArrInitial(2, 1, 4)
+	const k = 1000
+	for i := uint32(0); i < k; i++ {
+		s.Insert(0, i, i)
+	}
+	if s.Degree(0) != k {
+		t.Fatalf("degree = %d, want %d", s.Degree(0), k)
+	}
+	count := 0
+	s.Neighbors(0, func(v edge.ID, _ uint32) bool { count++; return true })
+	if count != k {
+		t.Fatalf("iterated %d, want %d", count, k)
+	}
+}
+
+func TestDynArrNoResize(t *testing.T) {
+	degrees := []int{3, 0, 2}
+	s := NewDynArrNoResize(degrees)
+	if s.Name() != "dyn-arr-nr" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	s.Insert(0, 1, 0)
+	s.Insert(0, 2, 0)
+	s.Insert(0, 3, 0)
+	s.Insert(2, 0, 0)
+	s.Insert(2, 1, 0)
+	if s.Degree(0) != 3 || s.Degree(2) != 2 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestDynArrNoResizeOverflowPanics(t *testing.T) {
+	s := NewDynArrNoResize([]int{1})
+	s.Insert(0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Dyn-arr-nr overflow")
+		}
+	}()
+	s.Insert(0, 2, 0)
+	s.Insert(0, 3, 0) // capacity is rounded to a size class; keep pushing
+	s.Insert(0, 4, 0)
+}
+
+func TestDynArrNeighborsEarlyStop(t *testing.T) {
+	s := NewDynArr(2, 8)
+	for i := uint32(0); i < 10; i++ {
+		s.Insert(0, i, 0)
+	}
+	count := 0
+	s.Neighbors(0, func(v edge.ID, _ uint32) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestDynArrTimestampsPreserved(t *testing.T) {
+	s := NewDynArr(2, 8)
+	s.Insert(0, 5, 42)
+	s.Insert(0, 6, 43)
+	got := map[edge.ID]uint32{}
+	s.Neighbors(0, func(v edge.ID, ts uint32) bool {
+		got[v] = ts
+		return true
+	})
+	if got[5] != 42 || got[6] != 43 {
+		t.Fatalf("timestamps lost: %v", got)
+	}
+}
+
+func TestDynArrConcurrentInserts(t *testing.T) {
+	const n = 64
+	const perWorker = 2000
+	const workers = 8
+	s := NewDynArr(n, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Hammer a small vertex set to force contention.
+				s.Insert(edge.ID(i%n), edge.ID(w), uint32(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.NumEdges() != workers*perWorker {
+		t.Fatalf("m = %d, want %d", s.NumEdges(), workers*perWorker)
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		total += s.Degree(edge.ID(u))
+	}
+	if total != workers*perWorker {
+		t.Fatalf("sum of degrees = %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestDynArrConcurrentMixed(t *testing.T) {
+	const n = 32
+	s := NewDynArr(n, 4096)
+	// Preload.
+	for u := uint32(0); u < n; u++ {
+		for v := uint32(0); v < 16; v++ {
+			s.Insert(u, v, 0)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				u := edge.ID(i % n)
+				if w%2 == 0 {
+					s.Insert(u, edge.ID(16+w), uint32(i))
+				} else {
+					s.Delete(u, edge.ID(i%16))
+				}
+				s.Degree(u)
+				s.Has(u, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestDynArrArenaStats(t *testing.T) {
+	s := NewDynArrInitial(4, 2, 8)
+	for i := uint32(0); i < 64; i++ {
+		s.Insert(0, i, 0)
+	}
+	st := s.ArenaStats()
+	if st.EntriesAllocated == 0 {
+		t.Fatal("expected arena allocations")
+	}
+	if st.EntriesRecycled == 0 {
+		t.Fatal("expected recycled blocks from doubling resizes")
+	}
+}

@@ -1,0 +1,25 @@
+package dyngraph
+
+import "snapdyn/internal/edge"
+
+// An adjacency entry packs a 32-bit neighbor id and a 32-bit time label
+// into one uint64, the paper's compact 8-byte tuple. A deleted entry is
+// tombstoned in place (Dyn-arr "marks a memory location as deleted") by
+// setting the neighbor id to the sentinel; the time label slot then
+// records the deletion time.
+
+// tombstone is the reserved neighbor id marking a deleted slot. Vertex
+// ids must therefore be < 2^32 - 1.
+const tombstone = ^uint32(0)
+
+func pack(v edge.ID, t uint32) uint64 {
+	return uint64(v)<<32 | uint64(t)
+}
+
+func unpack(e uint64) (v edge.ID, t uint32) {
+	return uint32(e >> 32), uint32(e)
+}
+
+func isTombstone(e uint64) bool {
+	return uint32(e>>32) == tombstone
+}

@@ -1,0 +1,189 @@
+package dyngraph
+
+// Failure-injection tests: the documented semantics for malformed or
+// adversarial operation sequences must hold in every representation —
+// deletes of absent edges report false and change nothing, duplicate
+// edges accumulate, self-loops are legal single arcs, and empty batches
+// are no-ops.
+
+import (
+	"testing"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/xrand"
+)
+
+func TestDeleteAbsentEverywhere(t *testing.T) {
+	for _, s := range allStores(16, 64) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			if s.Delete(0, 1) {
+				t.Fatal("delete on empty graph succeeded")
+			}
+			s.Insert(0, 2, 1)
+			if s.Delete(0, 1) {
+				t.Fatal("delete of absent neighbor succeeded")
+			}
+			if s.Delete(1, 2) {
+				t.Fatal("delete from wrong source succeeded")
+			}
+			if s.NumEdges() != 1 || s.Degree(0) != 1 {
+				t.Fatal("failed deletes mutated state")
+			}
+		})
+	}
+}
+
+func TestDeleteTupleFallback(t *testing.T) {
+	for _, s := range allStores(8, 32) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			s.Insert(0, 1, 42)
+			// Wrong label: must still remove the single (0,1) tuple.
+			if !s.DeleteTuple(0, 1, 99) {
+				t.Fatal("labeled delete with stale label failed")
+			}
+			if s.Has(0, 1) {
+				t.Fatal("tuple survived fallback delete")
+			}
+			if s.DeleteTuple(0, 1, 42) {
+				t.Fatal("delete after removal succeeded")
+			}
+		})
+	}
+}
+
+func TestDeleteTupleExactAmongDuplicates(t *testing.T) {
+	// Array stores must tombstone the exact labeled tuple among
+	// duplicates, not the first endpoint match.
+	s := NewDynArr(4, 16)
+	s.Insert(0, 1, 10)
+	s.Insert(0, 1, 20)
+	s.Insert(0, 1, 30)
+	if !s.DeleteTuple(0, 1, 20) {
+		t.Fatal("exact delete failed")
+	}
+	var labels []uint32
+	s.Neighbors(0, func(_ edge.ID, ts uint32) bool {
+		labels = append(labels, ts)
+		return true
+	})
+	if len(labels) != 2 || labels[0] != 10 || labels[1] != 30 {
+		t.Fatalf("surviving labels = %v, want [10 30]", labels)
+	}
+}
+
+func TestSelfLoopsEverywhere(t *testing.T) {
+	for _, s := range allStores(8, 32) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			s.Insert(3, 3, 7)
+			if !s.Has(3, 3) || s.Degree(3) != 1 {
+				t.Fatal("self loop mishandled")
+			}
+			if !s.Delete(3, 3) || s.Has(3, 3) {
+				t.Fatal("self loop delete mishandled")
+			}
+		})
+	}
+}
+
+func TestEmptyBatchEverywhere(t *testing.T) {
+	for _, s := range allStores(8, 32) {
+		s.ApplyBatch(4, nil)
+		s.ApplyBatch(4, []edge.Update{})
+		if s.NumEdges() != 0 {
+			t.Fatalf("%s: empty batch created edges", s.Name())
+		}
+	}
+}
+
+func TestDeleteHeavyBatchOverdraw(t *testing.T) {
+	// A batch deleting the same edge more times than it exists must
+	// settle at zero, not negative.
+	for _, s := range allStores(8, 64) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for i := 0; i < 3; i++ {
+				s.Insert(1, 2, uint32(i))
+			}
+			batch := make([]edge.Update, 10)
+			for i := range batch {
+				batch[i] = edge.Update{Edge: edge.Edge{U: 1, V: 2, T: uint32(i)}, Op: edge.Delete}
+			}
+			s.ApplyBatch(4, batch)
+			if s.NumEdges() != 0 || s.Degree(1) != 0 || s.Has(1, 2) {
+				t.Fatalf("overdraw left m=%d deg=%d", s.NumEdges(), s.Degree(1))
+			}
+		})
+	}
+}
+
+func TestHybridChurnAroundThreshold(t *testing.T) {
+	// Insert/delete churn exactly at the migration threshold must keep
+	// counts exact (vertex migrates once, then deletes hit the treap).
+	s := NewHybrid(4, 256, 8, 3)
+	r := xrand.New(9)
+	live := map[uint32]int{}
+	total := 0
+	for i := 0; i < 2000; i++ {
+		v := r.Uint32n(12)
+		if r.Float64() < 0.55 {
+			s.Insert(0, v, uint32(i))
+			live[v]++
+			total++
+		} else if s.Delete(0, v) {
+			live[v]--
+			total--
+		}
+	}
+	want := 0
+	for _, c := range live {
+		want += c
+	}
+	if s.Degree(0) != want || int(s.NumEdges()) != total {
+		t.Fatalf("churn: degree=%d want=%d, m=%d want=%d", s.Degree(0), want, s.NumEdges(), total)
+	}
+	for v, c := range live {
+		if (c > 0) != s.Has(0, v) {
+			t.Fatalf("churn: Has(0,%d) = %v with count %d", v, s.Has(0, v), c)
+		}
+	}
+}
+
+func TestVpartSingleOpsOutsideBatch(t *testing.T) {
+	// Vpart's single-op path must still be usable (locked) even though
+	// batches are its intended mode.
+	s := NewVpart(8, 32)
+	s.Insert(1, 2, 3)
+	if !s.Has(1, 2) {
+		t.Fatal("vpart single insert lost")
+	}
+	if !s.Delete(1, 2) {
+		t.Fatal("vpart single delete failed")
+	}
+}
+
+func TestEpartDeleteDuringBatch(t *testing.T) {
+	// Mixed batch with deletes targeting a hot vertex: buffered inserts
+	// and direct deletes must both apply.
+	s := NewEpart(8, 256, 4)
+	for v := uint32(0); v < 10; v++ {
+		s.Insert(0, v, v)
+	}
+	batch := []edge.Update{
+		{Edge: edge.Edge{U: 0, V: 100, T: 1}, Op: edge.Insert},
+		{Edge: edge.Edge{U: 0, V: 5, T: 5}, Op: edge.Delete},
+		{Edge: edge.Edge{U: 0, V: 101, T: 2}, Op: edge.Insert},
+	}
+	s.ApplyBatch(2, batch)
+	if s.Has(0, 5) {
+		t.Fatal("delete ignored")
+	}
+	if !s.Has(0, 100) || !s.Has(0, 101) {
+		t.Fatal("buffered inserts lost")
+	}
+	if s.Degree(0) != 11 {
+		t.Fatalf("degree = %d, want 11", s.Degree(0))
+	}
+}

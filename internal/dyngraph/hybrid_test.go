@@ -1,0 +1,181 @@
+package dyngraph
+
+import (
+	"sync"
+	"testing"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/xrand"
+)
+
+func TestHybridMigration(t *testing.T) {
+	s := NewHybrid(4, 256, 8, 1)
+	if s.DegreeThresh() != 8 {
+		t.Fatalf("thresh = %d", s.DegreeThresh())
+	}
+	for v := uint32(0); v < 8; v++ {
+		s.Insert(0, v, v)
+	}
+	if s.IsTreap(0) {
+		t.Fatal("vertex migrated below threshold")
+	}
+	s.Insert(0, 8, 8)
+	if !s.IsTreap(0) {
+		t.Fatal("vertex did not migrate above threshold")
+	}
+	if s.Degree(0) != 9 {
+		t.Fatalf("degree = %d, want 9", s.Degree(0))
+	}
+	for v := uint32(0); v < 9; v++ {
+		if !s.Has(0, v) {
+			t.Fatalf("lost edge 0->%d in migration", v)
+		}
+	}
+	if s.TreapVertexCount() != 1 {
+		t.Fatalf("treap vertices = %d, want 1", s.TreapVertexCount())
+	}
+}
+
+func TestHybridMigrationPreservesTimestamps(t *testing.T) {
+	s := NewHybrid(2, 64, 4, 2)
+	for v := uint32(0); v < 10; v++ {
+		s.Insert(0, v, 100+v)
+	}
+	got := map[edge.ID]uint32{}
+	s.Neighbors(0, func(v edge.ID, ts uint32) bool {
+		got[v] = ts
+		return true
+	})
+	for v := uint32(0); v < 10; v++ {
+		if got[v] != 100+v {
+			t.Fatalf("timestamp of 0->%d = %d, want %d", v, got[v], 100+v)
+		}
+	}
+}
+
+func TestHybridDefaultThreshold(t *testing.T) {
+	s := NewHybrid(2, 64, 0, 3)
+	if s.DegreeThresh() != DefaultDegreeThresh {
+		t.Fatalf("default thresh = %d, want %d", s.DegreeThresh(), DefaultDegreeThresh)
+	}
+}
+
+func TestHybridDeleteBothModes(t *testing.T) {
+	s := NewHybrid(4, 256, 8, 4)
+	// Array-mode vertex.
+	s.Insert(1, 10, 0)
+	s.Insert(1, 11, 0)
+	if !s.Delete(1, 10) || s.Has(1, 10) || s.Degree(1) != 1 {
+		t.Fatal("array-mode delete wrong")
+	}
+	// Treap-mode vertex.
+	for v := uint32(0); v < 20; v++ {
+		s.Insert(2, v, 0)
+	}
+	if !s.IsTreap(2) {
+		t.Fatal("expected treap mode")
+	}
+	if !s.Delete(2, 5) || s.Has(2, 5) || s.Degree(2) != 19 {
+		t.Fatal("treap-mode delete wrong")
+	}
+	if s.Delete(2, 5) {
+		t.Fatal("double delete succeeded")
+	}
+	if s.NumEdges() != 1+19 {
+		t.Fatalf("m = %d", s.NumEdges())
+	}
+}
+
+func TestHybridDeletesStayBelowThreshold(t *testing.T) {
+	// Deleting from an array-mode vertex never migrates it.
+	s := NewHybrid(2, 64, 8, 5)
+	for v := uint32(0); v < 6; v++ {
+		s.Insert(0, v, 0)
+	}
+	for v := uint32(0); v < 6; v++ {
+		s.Delete(0, v)
+	}
+	if s.IsTreap(0) {
+		t.Fatal("deletes caused migration")
+	}
+	if s.Degree(0) != 0 {
+		t.Fatalf("degree = %d", s.Degree(0))
+	}
+}
+
+func TestHybridConcurrentMigration(t *testing.T) {
+	// Many workers hammer the same vertex across the migration boundary.
+	const workers = 8
+	const perWorker = 500
+	s := NewHybrid(2, workers*perWorker, 32, 6)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Insert(0, edge.ID(w*perWorker+i), uint32(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !s.IsTreap(0) {
+		t.Fatal("hot vertex should be in treap mode")
+	}
+	if s.Degree(0) != workers*perWorker {
+		t.Fatalf("degree = %d, want %d", s.Degree(0), workers*perWorker)
+	}
+	if s.NumEdges() != workers*perWorker {
+		t.Fatalf("m = %d", s.NumEdges())
+	}
+}
+
+func TestHybridConcurrentMixed(t *testing.T) {
+	const n = 64
+	s := NewHybrid(n, 1<<14, 16, 7)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.New(uint64(w) + 100)
+			for i := 0; i < 2000; i++ {
+				u := edge.ID(r.Uint32n(n))
+				v := edge.ID(r.Uint32n(128))
+				switch {
+				case r.Float64() < 0.7:
+					s.Insert(u, v, uint32(i))
+				default:
+					s.Delete(u, v)
+				}
+				if i%64 == 0 {
+					s.Degree(u)
+					s.Has(u, v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for u := 0; u < n; u++ {
+		total += int64(s.Degree(edge.ID(u)))
+	}
+	if total != s.NumEdges() {
+		t.Fatalf("degree sum %d != live %d", total, s.NumEdges())
+	}
+}
+
+func TestHybridNeighborsEarlyStopTreapMode(t *testing.T) {
+	s := NewHybrid(2, 256, 4, 8)
+	for v := uint32(0); v < 32; v++ {
+		s.Insert(0, v, 0)
+	}
+	count := 0
+	s.Neighbors(0, func(v edge.ID, _ uint32) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}

@@ -1,0 +1,237 @@
+package dyngraph
+
+import (
+	"sync"
+	"testing"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/xrand"
+)
+
+func TestLockFreeBasic(t *testing.T) {
+	s := NewLockFreeArr([]int{4, 2, 0})
+	if s.Name() != "lockfree-arr" || s.NumVertices() != 3 {
+		t.Fatal("metadata wrong")
+	}
+	s.Insert(0, 1, 10)
+	s.Insert(0, 2, 20)
+	if s.Degree(0) != 2 || !s.Has(0, 1) || s.Has(0, 3) {
+		t.Fatal("basic ops wrong")
+	}
+	if !s.Delete(0, 1) || s.Has(0, 1) || s.Degree(0) != 1 {
+		t.Fatal("delete wrong")
+	}
+	if s.Delete(0, 1) {
+		t.Fatal("double delete succeeded")
+	}
+	if s.NumEdges() != 1 {
+		t.Fatalf("m = %d", s.NumEdges())
+	}
+}
+
+func TestLockFreeOverflowPanics(t *testing.T) {
+	s := NewLockFreeArr([]int{1})
+	s.Insert(0, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	// Capacity rounds to a size class, so keep inserting.
+	for i := uint32(0); i < 8; i++ {
+		s.Insert(0, 10+i, 0)
+	}
+}
+
+func TestLockFreeDeleteTupleExact(t *testing.T) {
+	s := NewLockFreeArr([]int{4})
+	s.Insert(0, 1, 10)
+	s.Insert(0, 1, 20)
+	if !s.DeleteTuple(0, 1, 20) {
+		t.Fatal("exact delete failed")
+	}
+	var labels []uint32
+	s.Neighbors(0, func(_ edge.ID, ts uint32) bool {
+		labels = append(labels, ts)
+		return true
+	})
+	if len(labels) != 1 || labels[0] != 10 {
+		t.Fatalf("surviving labels = %v", labels)
+	}
+	// Stale label falls back to endpoint match.
+	if !s.DeleteTuple(0, 1, 99) {
+		t.Fatal("fallback failed")
+	}
+	if s.Degree(0) != 0 {
+		t.Fatal("degree wrong")
+	}
+}
+
+func TestLockFreeConcurrentInserts(t *testing.T) {
+	const n = 16
+	const workers = 8
+	const perWorker = 1000
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = workers * perWorker // worst case all to one vertex
+	}
+	s := NewLockFreeArr(caps)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Insert(edge.ID(i%n), edge.ID(w*perWorker+i), uint32(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.NumEdges() != workers*perWorker {
+		t.Fatalf("m = %d", s.NumEdges())
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		count := 0
+		s.Neighbors(edge.ID(u), func(edge.ID, uint32) bool { count++; return true })
+		if count != s.Degree(edge.ID(u)) {
+			t.Fatalf("vertex %d: iterated %d, degree %d", u, count, s.Degree(edge.ID(u)))
+		}
+		total += count
+	}
+	if total != workers*perWorker {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestLockFreeConcurrentReadersAndWriters(t *testing.T) {
+	const n = 8
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = 1 << 14
+	}
+	s := NewLockFreeArr(caps)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers run continuously while writers insert and delete.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for u := 0; u < n; u++ {
+					s.Neighbors(edge.ID(u), func(v edge.ID, _ uint32) bool {
+						if v == tombstone {
+							t.Error("tombstone leaked to reader")
+							return false
+						}
+						return true
+					})
+					s.Degree(edge.ID(u))
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.New(uint64(w))
+			for i := 0; i < 2000; i++ {
+				u := edge.ID(r.Uint32n(n))
+				if r.Float64() < 0.7 {
+					s.Insert(u, r.Uint32n(100), uint32(i))
+				} else {
+					s.Delete(u, r.Uint32n(100))
+				}
+			}
+		}(w)
+	}
+	// Wait for writers (the last 4 goroutines) by counting separately.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Give writers time to finish, then stop readers.
+	for i := 0; i < 4*2000; i++ {
+		select {
+		case <-done:
+			i = 4 * 2000
+		default:
+		}
+	}
+	close(stop)
+	<-done
+	var total int64
+	for u := 0; u < n; u++ {
+		total += int64(s.Degree(edge.ID(u)))
+	}
+	if total != s.NumEdges() {
+		t.Fatalf("degree sum %d != live %d", total, s.NumEdges())
+	}
+}
+
+func TestLockFreeConcurrentDeleteOnce(t *testing.T) {
+	// Many goroutines race to delete the same tuples: each tuple must be
+	// deleted exactly once in total.
+	const dup = 100
+	s := NewLockFreeArr([]int{dup})
+	for i := 0; i < dup; i++ {
+		s.Insert(0, 7, uint32(i))
+	}
+	var wg sync.WaitGroup
+	var success int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < dup; i++ {
+				if s.Delete(0, 7) {
+					local++
+				}
+			}
+			mu.Lock()
+			success += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if success != dup {
+		t.Fatalf("deleted %d tuples, want exactly %d", success, dup)
+	}
+	if s.Degree(0) != 0 || s.NumEdges() != 0 {
+		t.Fatal("state not empty")
+	}
+}
+
+func TestLockFreeMatchesOracle(t *testing.T) {
+	const n = 24
+	caps := make([]int, n)
+	for i := range caps {
+		caps[i] = 4096
+	}
+	s := NewLockFreeArr(caps)
+	o := NewOracle(n)
+	r := xrand.New(77)
+	ups := randomUpdates(r, n, 3000, 0.3)
+	for _, up := range ups {
+		if up.Op == edge.Insert {
+			s.Insert(up.U, up.V, up.T)
+			o.Insert(up.U, up.V, up.T)
+		} else {
+			gs := s.Delete(up.U, up.V)
+			if gs != o.Delete(up.U, up.V) {
+				t.Fatal("delete results diverged")
+			}
+		}
+	}
+	stateMatches(t, s, o)
+}

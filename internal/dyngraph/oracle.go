@@ -1,0 +1,116 @@
+package dyngraph
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"snapdyn/internal/edge"
+)
+
+// Oracle is a deliberately simple map-of-multisets reference
+// implementation of Store used by tests to validate every optimized
+// representation under random operation sequences. It is correct by
+// construction and slow by design.
+type Oracle struct {
+	mu   sync.Mutex
+	n    int
+	adj  []map[edge.ID]int // neighbor -> multiplicity
+	live atomic.Int64
+}
+
+var _ Store = (*Oracle)(nil)
+
+// NewOracle creates an oracle over n vertices.
+func NewOracle(n int) *Oracle {
+	adj := make([]map[edge.ID]int, n)
+	for i := range adj {
+		adj[i] = make(map[edge.ID]int)
+	}
+	return &Oracle{n: n, adj: adj}
+}
+
+// Name implements Store.
+func (o *Oracle) Name() string { return "oracle" }
+
+// NumVertices implements Store.
+func (o *Oracle) NumVertices() int { return o.n }
+
+// NumEdges implements Store.
+func (o *Oracle) NumEdges() int64 { return o.live.Load() }
+
+// Insert implements Store.
+func (o *Oracle) Insert(u, v edge.ID, t uint32) {
+	o.mu.Lock()
+	o.adj[u][v]++
+	o.mu.Unlock()
+	o.live.Add(1)
+}
+
+// Delete implements Store.
+func (o *Oracle) Delete(u, v edge.ID) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.adj[u][v] == 0 {
+		return false
+	}
+	o.adj[u][v]--
+	if o.adj[u][v] == 0 {
+		delete(o.adj[u], v)
+	}
+	o.live.Add(-1)
+	return true
+}
+
+// DeleteTuple implements Store; the oracle tracks neighbor multisets
+// only, so the time label is ignored.
+func (o *Oracle) DeleteTuple(u, v edge.ID, _ uint32) bool {
+	return o.Delete(u, v)
+}
+
+// Degree implements Store.
+func (o *Oracle) Degree(u edge.ID) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d := 0
+	for _, c := range o.adj[u] {
+		d += c
+	}
+	return d
+}
+
+// Has implements Store.
+func (o *Oracle) Has(u, v edge.ID) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.adj[u][v] > 0
+}
+
+// Neighbors implements Store. Time labels are not tracked by the oracle
+// and are reported as edge.NoTime.
+func (o *Oracle) Neighbors(u edge.ID, fn func(v edge.ID, t uint32) bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for v, c := range o.adj[u] {
+		for i := 0; i < c; i++ {
+			if !fn(v, edge.NoTime) {
+				return
+			}
+		}
+	}
+}
+
+// ApplyBatch implements Store.
+func (o *Oracle) ApplyBatch(workers int, batch []edge.Update) {
+	applyConcurrent(o, workers, batch)
+}
+
+// NeighborCounts returns a copy of u's neighbor multiset for comparisons.
+func (o *Oracle) NeighborCounts(u edge.ID) map[edge.ID]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[edge.ID]int, len(o.adj[u]))
+	for v, c := range o.adj[u] {
+		out[v] = c
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package dyngraph
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// spinLock is a one-word test-and-set spinlock. The paper's C code
+// publishes adjacency appends with a bare atomic increment, which the Go
+// memory model does not permit; a per-vertex spinlock costs a single
+// uncontended CAS on the fast path and preserves the contention behaviour
+// under study (many threads hammering one high-degree vertex).
+type spinLock struct {
+	v atomic.Uint32
+}
+
+func (l *spinLock) lock() {
+	for i := 0; ; i++ {
+		if l.v.Load() == 0 && l.v.CompareAndSwap(0, 1) {
+			return
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (l *spinLock) unlock() {
+	l.v.Store(0)
+}

@@ -1,0 +1,52 @@
+package dyngraph
+
+import (
+	"fmt"
+
+	"snapdyn/internal/edge"
+)
+
+// GraphStats summarizes a dynamic graph's shape for reports and examples.
+type GraphStats struct {
+	Vertices   int
+	LiveEdges  int64
+	MaxDegree  int
+	AvgDegree  float64
+	Isolated   int // vertices with no live tuples
+	HeavyCount int // vertices with degree >= HeavyThresh
+	// HeavyThresh is the degree bound used for HeavyCount.
+	HeavyThresh int
+}
+
+// Stats scans the store and computes summary statistics. heavyThresh <= 0
+// defaults to DefaultDegreeThresh.
+func Stats(s Store, heavyThresh int) GraphStats {
+	if heavyThresh <= 0 {
+		heavyThresh = DefaultDegreeThresh
+	}
+	st := GraphStats{Vertices: s.NumVertices(), LiveEdges: s.NumEdges(), HeavyThresh: heavyThresh}
+	total := 0
+	for u := 0; u < st.Vertices; u++ {
+		d := s.Degree(edge.ID(u))
+		total += d
+		if d == 0 {
+			st.Isolated++
+		}
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+		if d >= heavyThresh {
+			st.HeavyCount++
+		}
+	}
+	if st.Vertices > 0 {
+		st.AvgDegree = float64(total) / float64(st.Vertices)
+	}
+	return st
+}
+
+// String implements fmt.Stringer.
+func (g GraphStats) String() string {
+	return fmt.Sprintf("n=%d m=%d maxdeg=%d avgdeg=%.2f isolated=%d heavy(>=%d)=%d",
+		g.Vertices, g.LiveEdges, g.MaxDegree, g.AvgDegree, g.Isolated, g.HeavyThresh, g.HeavyCount)
+}

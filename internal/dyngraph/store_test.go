@@ -1,0 +1,282 @@
+package dyngraph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/xrand"
+)
+
+// allStores builds one instance of every representation over n vertices.
+func allStores(n, expectedEdges int) []Store {
+	return []Store{
+		NewDynArr(n, expectedEdges),
+		NewTreapStore(n, 42),
+		NewHybrid(n, expectedEdges, 8, 42),
+		NewVpart(n, expectedEdges),
+		NewEpart(n, expectedEdges, 8),
+		NewBatched(NewDynArr(n, expectedEdges)),
+	}
+}
+
+// randomUpdates generates a stream mixing inserts and deletes; deletes
+// target previously inserted edges with probability pHit.
+func randomUpdates(r *xrand.State, n, count int, delFrac float64) []edge.Update {
+	ups := make([]edge.Update, 0, count)
+	var inserted []edge.Edge
+	for len(ups) < count {
+		if len(inserted) > 0 && r.Float64() < delFrac {
+			e := inserted[r.Intn(len(inserted))]
+			ups = append(ups, edge.Update{Edge: e, Op: edge.Delete})
+		} else {
+			e := edge.Edge{U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n)), T: uint32(len(ups))}
+			inserted = append(inserted, e)
+			ups = append(ups, edge.Update{Edge: e, Op: edge.Insert})
+		}
+	}
+	return ups
+}
+
+// stateMatches compares a store against the oracle vertex by vertex.
+func stateMatches(t *testing.T, s Store, o *Oracle) {
+	t.Helper()
+	if s.NumEdges() != o.NumEdges() {
+		t.Fatalf("%s: live edges %d != oracle %d", s.Name(), s.NumEdges(), o.NumEdges())
+	}
+	for u := 0; u < s.NumVertices(); u++ {
+		id := edge.ID(u)
+		if s.Degree(id) != o.Degree(id) {
+			t.Fatalf("%s: degree(%d) = %d, oracle %d", s.Name(), u, s.Degree(id), o.Degree(id))
+		}
+		want := o.NeighborCounts(id)
+		got := map[edge.ID]int{}
+		s.Neighbors(id, func(v edge.ID, _ uint32) bool {
+			got[v]++
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%s: vertex %d neighbor sets differ: got %v want %v", s.Name(), u, got, want)
+		}
+		for v, c := range want {
+			if got[v] != c {
+				t.Fatalf("%s: vertex %d neighbor %d count %d, oracle %d", s.Name(), u, v, got[v], c)
+			}
+			if !s.Has(id, v) {
+				t.Fatalf("%s: Has(%d,%d) false, oracle true", s.Name(), u, v)
+			}
+		}
+	}
+}
+
+func TestAllStoresMatchOracleSequential(t *testing.T) {
+	const n = 48
+	r := xrand.New(2024)
+	ups := randomUpdates(r, n, 3000, 0.3)
+	for _, s := range allStores(n, 3000) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			o := NewOracle(n)
+			for _, up := range ups {
+				if up.Op == edge.Insert {
+					s.Insert(up.U, up.V, up.T)
+					o.Insert(up.U, up.V, up.T)
+				} else {
+					gs := s.Delete(up.U, up.V)
+					go_ := o.Delete(up.U, up.V)
+					if gs != go_ {
+						t.Fatalf("%s: Delete(%d,%d) = %v, oracle %v", s.Name(), up.U, up.V, gs, go_)
+					}
+				}
+			}
+			stateMatches(t, s, o)
+		})
+	}
+}
+
+func TestAllStoresMatchOracleBatch(t *testing.T) {
+	const n = 64
+	r := xrand.New(777)
+	// Insert-only batches so delete-ordering nondeterminism cannot make
+	// store and oracle diverge.
+	var ups []edge.Update
+	for i := 0; i < 5000; i++ {
+		ups = append(ups, edge.Update{
+			Edge: edge.Edge{U: r.Uint32n(n), V: r.Uint32n(n), T: uint32(i)},
+			Op:   edge.Insert,
+		})
+	}
+	for _, s := range allStores(n, len(ups)) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			o := NewOracle(n)
+			o.ApplyBatch(4, ups)
+			s.ApplyBatch(4, ups)
+			stateMatches(t, s, o)
+		})
+	}
+}
+
+func TestAllStoresBatchWithDeletes(t *testing.T) {
+	// Batch of inserts, then a batch deleting a subset: multiset end
+	// state is deterministic even with concurrent application.
+	const n = 32
+	r := xrand.New(31)
+	var ins []edge.Update
+	for i := 0; i < 2000; i++ {
+		ins = append(ins, edge.Update{
+			Edge: edge.Edge{U: r.Uint32n(n), V: r.Uint32n(n), T: uint32(i)},
+			Op:   edge.Insert,
+		})
+	}
+	var dels []edge.Update
+	for i := 0; i < len(ins); i += 2 {
+		dels = append(dels, edge.Update{Edge: ins[i].Edge, Op: edge.Delete})
+	}
+	for _, s := range allStores(n, len(ins)) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			o := NewOracle(n)
+			o.ApplyBatch(1, ins)
+			o.ApplyBatch(1, dels)
+			s.ApplyBatch(4, ins)
+			s.ApplyBatch(4, dels)
+			stateMatches(t, s, o)
+		})
+	}
+}
+
+func TestStoresPropertyQuick(t *testing.T) {
+	// Randomized sequential op sequences across all stores vs oracle.
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(func(seed uint64) bool {
+		const n = 24
+		r := xrand.New(seed)
+		ups := randomUpdates(r, n, 600, 0.4)
+		for _, s := range allStores(n, 600) {
+			o := NewOracle(n)
+			for _, up := range ups {
+				if up.Op == edge.Insert {
+					s.Insert(up.U, up.V, up.T)
+					o.Insert(up.U, up.V, up.T)
+				} else {
+					if s.Delete(up.U, up.V) != o.Delete(up.U, up.V) {
+						return false
+					}
+				}
+			}
+			if s.NumEdges() != o.NumEdges() {
+				return false
+			}
+			for u := 0; u < n; u++ {
+				if s.Degree(edge.ID(u)) != o.Degree(edge.ID(u)) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAll(t *testing.T) {
+	edges := []edge.Edge{{U: 0, V: 1, T: 1}, {U: 1, V: 2, T: 2}, {U: 2, V: 0, T: 3}}
+	s := NewDynArr(3, 3)
+	InsertAll(s, 2, edges)
+	if s.NumEdges() != 3 {
+		t.Fatalf("m = %d", s.NumEdges())
+	}
+	nb := CollectNeighbors(s, 1)
+	if len(nb) != 1 || nb[0].V != 2 {
+		t.Fatalf("neighbors of 1 = %v", nb)
+	}
+}
+
+func TestSemiSortGroups(t *testing.T) {
+	ups := []edge.Update{
+		{Edge: edge.Edge{U: 5, V: 0}}, {Edge: edge.Edge{U: 2, V: 0}},
+		{Edge: edge.Edge{U: 5, V: 1}}, {Edge: edge.Edge{U: 2, V: 1}},
+		{Edge: edge.Edge{U: 9, V: 0}},
+	}
+	perm, bounds := SemiSort(2, ups)
+	if len(bounds) != 4 { // groups for 2, 5, 9 plus terminator
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// Verify grouping: each group has a single source vertex and groups
+	// are in increasing vertex order.
+	prev := int64(-1)
+	for g := 0; g < len(bounds)-1; g++ {
+		u := ups[perm[bounds[g]]].U
+		if int64(u) <= prev {
+			t.Fatalf("groups not ordered: %d after %d", u, prev)
+		}
+		prev = int64(u)
+		for i := bounds[g]; i < bounds[g+1]; i++ {
+			if ups[perm[i]].U != u {
+				t.Fatalf("group %d mixes vertices", g)
+			}
+		}
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	s := NewDynArr(10, 32)
+	for v := uint32(1); v <= 5; v++ {
+		s.Insert(0, v, 0)
+	}
+	s.Insert(1, 0, 0)
+	st := Stats(s, 4)
+	if st.Vertices != 10 || st.LiveEdges != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxDegree != 5 || st.HeavyCount != 1 || st.Isolated != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AvgDegree <= 0 {
+		t.Fatalf("avg degree = %v", st.AvgDegree)
+	}
+	if fmt.Sprint(st) == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestVpartName(t *testing.T) {
+	if NewVpart(4, 4).Name() != "vpart" {
+		t.Fatal("vpart name")
+	}
+	if NewEpart(4, 4, 0).Name() != "epart" {
+		t.Fatal("epart name")
+	}
+	if NewBatched(NewDynArr(2, 2)).Name() != "batched(dyn-arr)" {
+		t.Fatal("batched name")
+	}
+}
+
+func TestEpartDefaultHotThresh(t *testing.T) {
+	s := NewEpart(100, 1000, 0)
+	if s.HotThresh != 80 {
+		t.Fatalf("default hot thresh = %d, want 80 (8x avg degree)", s.HotThresh)
+	}
+}
+
+func TestEpartMergesHotInserts(t *testing.T) {
+	const n = 16
+	s := NewEpart(n, 4096, 4)
+	// Make vertex 0 hot.
+	for v := uint32(0); v < 8; v++ {
+		s.Insert(0, v, 0)
+	}
+	var batch []edge.Update
+	for i := uint32(0); i < 1000; i++ {
+		batch = append(batch, edge.Update{Edge: edge.Edge{U: 0, V: 100 + i, T: i}, Op: edge.Insert})
+	}
+	s.ApplyBatch(4, batch)
+	if s.Degree(0) != 8+1000 {
+		t.Fatalf("degree = %d, want 1008", s.Degree(0))
+	}
+	if s.NumEdges() != 1008 {
+		t.Fatalf("m = %d, want 1008", s.NumEdges())
+	}
+}

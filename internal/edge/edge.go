@@ -1,0 +1,78 @@
+// Package edge defines the compact edge and update-tuple types shared by
+// every snapdyn package. A vertex id is a uint32 (the paper's compact
+// representations target entity counts in the billions on big shared
+// memory machines; locally we cap at 2^32-1 ids, which is far beyond what
+// fits in RAM anyway), and a time-stamp is a uint32 time label in the
+// sense of Kempe et al.: an abstract non-negative integer whose meaning is
+// application-defined.
+package edge
+
+import "fmt"
+
+// ID is a vertex identifier.
+type ID = uint32
+
+// NoTime marks an edge without temporal information.
+const NoTime uint32 = 0
+
+// Edge is a directed arc u -> v with time label T. Undirected graphs are
+// represented by storing both arcs.
+type Edge struct {
+	U, V ID
+	T    uint32 // time label λ(e)
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("(%d->%d @%d)", e.U, e.V, e.T) }
+
+// Op distinguishes structural update kinds in a stream.
+type Op uint8
+
+const (
+	// Insert adds the edge to the graph.
+	Insert Op = iota
+	// Delete removes the edge (matched by endpoints; the time label of a
+	// delete records when the deletion happened).
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Insert:
+		return "ins"
+	case Delete:
+		return "del"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Update is one element of a structural update stream.
+type Update struct {
+	Edge
+	Op Op
+}
+
+// String implements fmt.Stringer.
+func (u Update) String() string { return fmt.Sprintf("%s%s", u.Op, u.Edge) }
+
+// MaxVertex returns 1 + the largest endpoint id in edges, i.e. the minimal
+// vertex-array size holding all endpoints, or 0 for an empty slice.
+func MaxVertex(edges []Edge) int {
+	var m ID
+	seen := false
+	for _, e := range edges {
+		seen = true
+		if e.U > m {
+			m = e.U
+		}
+		if e.V > m {
+			m = e.V
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return int(m) + 1
+}

@@ -1,0 +1,33 @@
+package edge
+
+import "testing"
+
+func TestMaxVertex(t *testing.T) {
+	if got := MaxVertex(nil); got != 0 {
+		t.Fatalf("MaxVertex(nil) = %d, want 0", got)
+	}
+	edges := []Edge{{U: 3, V: 9}, {U: 0, V: 1}, {U: 7, V: 2}}
+	if got := MaxVertex(edges); got != 10 {
+		t.Fatalf("MaxVertex = %d, want 10", got)
+	}
+	if got := MaxVertex([]Edge{{U: 0, V: 0}}); got != 1 {
+		t.Fatalf("MaxVertex single self-loop = %d, want 1", got)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	e := Edge{U: 1, V: 2, T: 3}
+	if e.String() != "(1->2 @3)" {
+		t.Fatalf("Edge.String = %q", e.String())
+	}
+	u := Update{Edge: e, Op: Insert}
+	if u.String() != "ins(1->2 @3)" {
+		t.Fatalf("Update.String = %q", u.String())
+	}
+	if Delete.String() != "del" {
+		t.Fatalf("Delete.String = %q", Delete.String())
+	}
+	if Op(9).String() != "op(9)" {
+		t.Fatalf("unknown op string = %q", Op(9).String())
+	}
+}

@@ -1,0 +1,169 @@
+// Package graphio reads and writes time-stamped edge lists in the two
+// formats the tools use: a human-readable text format ("u v t" lines
+// with '#' comments) and a compact binary format (magic header + little
+// endian uint32 triples) for large instances where text parsing
+// dominates load time.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"snapdyn/internal/edge"
+)
+
+// Magic identifies the binary format, versioned.
+const Magic = "SNAPDYNB"
+
+// WriteText writes "u v t" lines with a size-comment header.
+func WriteText(w io.Writer, edges []edge.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# snapdyn edges=%d\n", len(edges)); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.U, e.V, e.T); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses "u v [t]" lines, skipping blank lines and '#'
+// comments. It returns the edges and the implied vertex-set size
+// (max id + 1).
+func ReadText(r io.Reader) ([]edge.Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []edge.Edge
+	var maxID uint32
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graphio: line %d: want 'u v [t]', got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graphio: line %d: %v", line, err)
+		}
+		var t uint64
+		if len(fields) >= 3 {
+			t, err = strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, 0, fmt.Errorf("graphio: line %d: %v", line, err)
+			}
+		}
+		e := edge.Edge{U: uint32(u), V: uint32(v), T: uint32(t)}
+		edges = append(edges, e)
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	if len(edges) > 0 {
+		n = int(maxID) + 1
+	}
+	return edges, n, nil
+}
+
+// WriteBinary writes the compact format: magic, uint64 count, then
+// little-endian (u, v, t) uint32 triples.
+func WriteBinary(w io.Writer, edges []edge.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [12]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(buf[0:], e.U)
+		binary.LittleEndian.PutUint32(buf[4:], e.V)
+		binary.LittleEndian.PutUint32(buf[8:], e.T)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact format.
+func ReadBinary(r io.Reader) ([]edge.Edge, int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("graphio: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, 0, fmt.Errorf("graphio: bad magic %q", magic)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("graphio: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxReasonable = 1 << 36
+	if count > maxReasonable {
+		return nil, 0, fmt.Errorf("graphio: implausible edge count %d", count)
+	}
+	edges := make([]edge.Edge, count)
+	var buf [12]byte
+	var maxID uint32
+	for i := range edges {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, 0, fmt.Errorf("graphio: edge %d: %w", i, err)
+		}
+		e := edge.Edge{
+			U: binary.LittleEndian.Uint32(buf[0:]),
+			V: binary.LittleEndian.Uint32(buf[4:]),
+			T: binary.LittleEndian.Uint32(buf[8:]),
+		}
+		edges[i] = e
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+	}
+	n := 0
+	if count > 0 {
+		n = int(maxID) + 1
+	}
+	return edges, n, nil
+}
+
+// Detect sniffs the format from the first bytes of a reader and
+// dispatches to the appropriate parser. The reader must support
+// buffering via the returned path only (callers pass a fresh reader).
+func Detect(r io.Reader) ([]edge.Edge, int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head, err := br.Peek(len(Magic))
+	if err == nil && string(head) == Magic {
+		return ReadBinary(br)
+	}
+	return ReadText(br)
+}

@@ -1,0 +1,195 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/xrand"
+)
+
+func sample(t *testing.T, n int, seed uint64) []edge.Edge {
+	t.Helper()
+	p := rmat.PaperParams(8, n, 50, seed)
+	edges, err := rmat.Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	edges := sample(t, 500, 1)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("len %d != %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, got[i], edges[i])
+		}
+	}
+	if n != edge.MaxVertex(edges) {
+		t.Fatalf("n = %d, want %d", n, edge.MaxVertex(edges))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	edges := sample(t, 500, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) || n != edge.MaxVertex(edges) {
+		t.Fatalf("len %d n %d", len(got), n)
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	// Full-range ids: decimal rendering is ~30 bytes/edge vs binary's 12.
+	r := xrand.New(3)
+	edges := make([]edge.Edge, 2000)
+	for i := range edges {
+		edges[i] = edge.Edge{U: r.Uint32(), V: r.Uint32(), T: r.Uint32()}
+	}
+	var tb, bb bytes.Buffer
+	if err := WriteText(&tb, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, edges); err != nil {
+		t.Fatal(err)
+	}
+	if bb.Len() >= tb.Len() {
+		t.Fatalf("binary %d >= text %d", bb.Len(), tb.Len())
+	}
+}
+
+func TestDetect(t *testing.T) {
+	edges := sample(t, 100, 4)
+	var tb, bb bytes.Buffer
+	_ = WriteText(&tb, edges)
+	_ = WriteBinary(&bb, edges)
+	for name, buf := range map[string]*bytes.Buffer{"text": &tb, "binary": &bb} {
+		got, _, err := Detect(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(edges) {
+			t.Fatalf("%s: len %d", name, len(got))
+		}
+	}
+}
+
+func TestReadTextTolerance(t *testing.T) {
+	in := "# comment\n\n 1 2 3 \n4 5\n"
+	edges, n, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 || n != 6 {
+		t.Fatalf("edges %v n %d", edges, n)
+	}
+	if edges[1].T != 0 {
+		t.Fatal("missing timestamp should default to 0")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"1\n",                 // too few fields
+		"a b\n",               // non-numeric
+		"1 b\n",               // non-numeric v
+		"1 2 c\n",             // non-numeric t
+		"1 2 3 extra4x\n 5\n", // trailing garbage on next line
+	}
+	for _, c := range cases {
+		if _, _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Fatalf("no error for %q", c)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, _, err := ReadBinary(strings.NewReader("BOGUS123whatever")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated payload.
+	edges := sample(t, 10, 5)
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, edges)
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Implausible count.
+	var evil bytes.Buffer
+	evil.WriteString(Magic)
+	evil.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	if _, _, err := ReadBinary(&evil); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestEmptyLists(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadBinary(&buf)
+	if err != nil || len(got) != 0 || n != 0 {
+		t.Fatalf("empty binary round trip: %v %d %v", got, n, err)
+	}
+	buf.Reset()
+	if err := WriteText(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err = ReadText(&buf)
+	if err != nil || len(got) != 0 || n != 0 {
+		t.Fatalf("empty text round trip: %v %d %v", got, n, err)
+	}
+}
+
+func TestBinaryPropertyRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64, ln uint8) bool {
+		r := xrand.New(seed)
+		edges := make([]edge.Edge, ln)
+		for i := range edges {
+			edges[i] = edge.Edge{U: r.Uint32(), V: r.Uint32(), T: r.Uint32()}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, edges); err != nil {
+			return false
+		}
+		got, _, err := ReadBinary(&buf)
+		if err != nil || len(got) != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package lct implements the paper's link-cut tree for connectivity
+// queries on dynamic low-diameter networks.
+//
+// The paper deliberately rejects self-adjusting (splay-based) link-cut
+// trees: "a straightforward implementation ... would be to store with
+// each vertex a pointer to its parent. This supports link, cut, and
+// parent in constant time, but the findroot operation would require a
+// worst-case traversal of O(n) vertices ... for low-diameter graphs such
+// as small-world networks, this operation just requires a small number of
+// hops, as the height of the tree is small."
+//
+// A Forest is therefore a flat parent-pointer array: Link and Cut are
+// O(1), FindRoot walks to the root in O(height) = O(diameter) hops, and a
+// connectivity query is two findroots. Construction from a graph runs a
+// parallel BFS forest (one root per connected component), so tree heights
+// are bounded by component diameters.
+package lct
+
+import (
+	"fmt"
+
+	"snapdyn/internal/cc"
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/traversal"
+)
+
+// noParent marks a root.
+const noParent = ^uint32(0)
+
+// Forest is a rooted forest over vertices [0, n) stored as parent
+// pointers.
+//
+// Structural operations (Link, Cut) must be externally serialized with
+// respect to each other and to queries; queries (FindRoot, Connected,
+// Parent) are read-only and safe to run concurrently with each other —
+// "the queries can be processed in parallel, as they only involve memory
+// reads."
+type Forest struct {
+	parent []uint32
+}
+
+// New returns a forest of n singleton trees.
+func New(n int) *Forest {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = noParent
+	}
+	return &Forest{parent: p}
+}
+
+// Size returns the number of vertices.
+func (f *Forest) Size() int { return len(f.parent) }
+
+// Link creates an arc from root v to vertex w, merging v's tree into
+// w's. It returns an error if v is not a root or if the link would create
+// a cycle (v and w already connected).
+func (f *Forest) Link(v, w edge.ID) error {
+	if f.parent[v] != noParent {
+		return fmt.Errorf("lct: link(%d,%d): %d is not a root", v, w, v)
+	}
+	if f.FindRoot(w) == v {
+		return fmt.Errorf("lct: link(%d,%d) would create a cycle", v, w)
+	}
+	f.parent[v] = uint32(w)
+	return nil
+}
+
+// Cut deletes the arc from v to its parent, splitting v's subtree into
+// its own tree. Cutting a root is a no-op returning false.
+func (f *Forest) Cut(v edge.ID) bool {
+	if f.parent[v] == noParent {
+		return false
+	}
+	f.parent[v] = noParent
+	return true
+}
+
+// Parent returns v's parent and whether v has one.
+func (f *Forest) Parent(v edge.ID) (edge.ID, bool) {
+	p := f.parent[v]
+	if p == noParent {
+		return 0, false
+	}
+	return p, true
+}
+
+// FindRoot walks parent pointers to the root of v's tree: O(height)
+// memory reads — a linked-list traversal, fast in practice only because
+// small-world BFS trees are shallow.
+func (f *Forest) FindRoot(v edge.ID) edge.ID {
+	for {
+		p := f.parent[v]
+		if p == noParent {
+			return v
+		}
+		v = p
+	}
+}
+
+// FindRootHops returns the root and the number of parent hops taken,
+// exposing the query's diameter-dependence for measurements.
+func (f *Forest) FindRootHops(v edge.ID) (edge.ID, int) {
+	hops := 0
+	for {
+		p := f.parent[v]
+		if p == noParent {
+			return v, hops
+		}
+		v = p
+		hops++
+	}
+}
+
+// Connected reports whether u and v are in the same tree (two findroot
+// operations).
+func (f *Forest) Connected(u, v edge.ID) bool {
+	return f.FindRoot(u) == f.FindRoot(v)
+}
+
+// Query is one connectivity query.
+type Query struct{ U, V edge.ID }
+
+// ConnectedBatch answers queries in parallel, writing results[i] for
+// queries[i].
+func (f *Forest) ConnectedBatch(workers int, queries []Query, results []bool) {
+	par.ForDynamic(workers, len(queries), 512, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			results[i] = f.Connected(queries[i].U, queries[i].V)
+		}
+	})
+}
+
+// Height returns the height of the tree containing v... computed the slow
+// way (walk from every vertex); intended for tests and diagnostics only.
+func (f *Forest) Height() int {
+	h := 0
+	for v := range f.parent {
+		_, hops := f.FindRootHops(edge.ID(v))
+		if hops > h {
+			h = hops
+		}
+	}
+	return h
+}
+
+// Build constructs the forest for a graph snapshot: connected components
+// are labeled in parallel, then a multi-source parallel BFS from each
+// component's representative produces a spanning forest whose parent
+// pointers become the link-cut structure. This mirrors the paper's
+// "apply a lock-free, level-synchronous parallel BFS ... then run
+// connected components to construct a forest of link-cut trees."
+//
+// g must be symmetric (both arcs of every undirected edge present, e.g.
+// csr.FromEdges with undirected=true); otherwise vertices that are only
+// weakly reachable stay singleton roots.
+func Build(workers int, g *csr.Graph) *Forest {
+	comp := cc.Components(workers, g)
+	return buildFromComponents(workers, g, comp)
+}
+
+// BuildWithComponents is Build reusing a precomputed component labeling.
+func BuildWithComponents(workers int, g *csr.Graph, comp []uint32) *Forest {
+	return buildFromComponents(workers, g, comp)
+}
+
+func buildFromComponents(workers int, g *csr.Graph, comp []uint32) *Forest {
+	f := New(g.N)
+	if g.N == 0 {
+		return f
+	}
+	// One multi-source BFS with every component representative as a
+	// root covers the whole graph in a single traversal.
+	var roots []uint32
+	for v := 0; v < g.N; v++ {
+		if comp[v] == uint32(v) {
+			roots = append(roots, uint32(v))
+		}
+	}
+	res := traversal.MultiBFS(workers, g, roots)
+	par.ForBlock(workers, g.N, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if res.Level[u] > 0 { // reached, not a root
+				f.parent[u] = res.Parent[u]
+			}
+		}
+	})
+	return f
+}

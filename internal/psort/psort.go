@@ -1,0 +1,179 @@
+// Package psort implements the parallel semi-sorting substrate the paper
+// uses for batched update processing: updates are grouped by source vertex
+// with a parallel LSD radix sort, whose running time is the paper's upper
+// bound for any batched representation (Figure 3).
+//
+// The sort is stable and operates on uint32 keys, returning a permutation;
+// callers gather their records through it. A parallel prefix sum over
+// int64 counters is provided as a shared building block for CSR
+// construction and frontier compaction.
+package psort
+
+import (
+	"snapdyn/internal/par"
+)
+
+const (
+	radixBits = 11
+	radix     = 1 << radixBits
+	radixMask = radix - 1
+)
+
+// Order returns a permutation p such that keys[p[0]], keys[p[1]], ... is
+// in non-decreasing order. The sort is stable: equal keys keep their
+// original relative order. workers <= 0 uses GOMAXPROCS.
+//
+// This is the semi-sort kernel: grouping a batch of edge updates by source
+// vertex id so that all updates to one adjacency list are applied in a
+// single pass by a single owner.
+func Order(workers int, keys []uint32) []uint32 {
+	n := len(keys)
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	if n < 2 {
+		return p
+	}
+	maxKey := par.Reduce(workers, n, uint32(0),
+		func(acc uint32, i int) uint32 { return max(acc, keys[i]) },
+		func(a, b uint32) uint32 { return max(a, b) })
+	tmp := make([]uint32, n)
+	for shift := 0; shift < 32; shift += radixBits {
+		if maxKey>>shift == 0 {
+			break
+		}
+		radixPass(workers, keys, p, tmp, shift)
+		p, tmp = tmp, p
+	}
+	return p
+}
+
+// radixPass stably scatters p into out ordered by the digit of
+// keys[p[i]] at the given shift, in parallel.
+func radixPass(workers int, keys []uint32, p, out []uint32, shift int) {
+	n := len(p)
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	// Per-worker digit histograms.
+	hist := make([][radix]int32, workers)
+	par.ForBlock(workers, n, func(lo, hi int) {
+		w := workerOf(workers, n, lo)
+		h := &hist[w]
+		for i := lo; i < hi; i++ {
+			h[(keys[p[i]]>>shift)&radixMask]++
+		}
+	})
+	// Exclusive scan in digit-major, worker-minor order: for digit d,
+	// worker w starts at sum of all counts of smaller digits plus counts
+	// of digit d in earlier workers. This preserves stability.
+	var sum int32
+	for d := 0; d < radix; d++ {
+		for w := 0; w < workers; w++ {
+			c := hist[w][d]
+			hist[w][d] = sum
+			sum += c
+		}
+	}
+	par.ForBlock(workers, n, func(lo, hi int) {
+		w := workerOf(workers, n, lo)
+		h := &hist[w]
+		for i := lo; i < hi; i++ {
+			d := (keys[p[i]] >> shift) & radixMask
+			out[h[d]] = p[i]
+			h[d]++
+		}
+	})
+}
+
+// workerOf mirrors par.ForBlock's static partitioning: it returns the
+// index of the worker whose block starts at or contains offset lo.
+func workerOf(workers, n, lo int) int {
+	q, r := n/workers, n%workers
+	big := r * (q + 1)
+	if lo < big {
+		return lo / (q + 1)
+	}
+	if q == 0 {
+		return workers - 1
+	}
+	return r + (lo-big)/q
+}
+
+// SortU32 sorts keys in place (non-stable interface over the stable
+// kernel) and returns keys for convenience.
+func SortU32(workers int, keys []uint32) []uint32 {
+	p := Order(workers, keys)
+	out := make([]uint32, len(keys))
+	par.For(workers, len(keys), func(i int) { out[i] = keys[p[i]] })
+	copy(keys, out)
+	return keys
+}
+
+// ExclusiveScan replaces counts with its exclusive prefix sum in parallel
+// and returns the total. counts[i]' = counts[0] + ... + counts[i-1].
+func ExclusiveScan(workers int, counts []int64) int64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < 4096 {
+		var sum int64
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		return sum
+	}
+	partial := make([]int64, workers)
+	par.ForBlock(workers, n, func(lo, hi int) {
+		w := workerOf(workers, n, lo)
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		partial[w] = s
+	})
+	var total int64
+	for w := 0; w < workers; w++ {
+		s := partial[w]
+		partial[w] = total
+		total += s
+	}
+	par.ForBlock(workers, n, func(lo, hi int) {
+		w := workerOf(workers, n, lo)
+		s := partial[w]
+		for i := lo; i < hi; i++ {
+			c := counts[i]
+			counts[i] = s
+			s += c
+		}
+	})
+	return total
+}
+
+// GroupRanges scans sorted keys and invokes fn(key, lo, hi) for every
+// maximal run keys[lo:hi] of equal keys. keys must be sorted. Runs are
+// delivered in increasing key order.
+func GroupRanges(keys []uint32, fn func(key uint32, lo, hi int)) {
+	n := len(keys)
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && keys[hi] == keys[lo] {
+			hi++
+		}
+		fn(keys[lo], lo, hi)
+		lo = hi
+	}
+}

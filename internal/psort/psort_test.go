@@ -1,0 +1,175 @@
+package psort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/xrand"
+)
+
+func randKeys(n int, mod uint32, seed uint64) []uint32 {
+	r := xrand.New(seed)
+	keys := make([]uint32, n)
+	for i := range keys {
+		if mod == 0 {
+			keys[i] = r.Uint32()
+		} else {
+			keys[i] = r.Uint32n(mod)
+		}
+	}
+	return keys
+}
+
+func TestOrderSorts(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 2, 3, 100, 10000} {
+			keys := randKeys(n, 0, uint64(n)+1)
+			p := Order(workers, keys)
+			if len(p) != n {
+				t.Fatalf("perm length %d != %d", len(p), n)
+			}
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				if seen[p[i]] {
+					t.Fatalf("permutation repeats index %d", p[i])
+				}
+				seen[p[i]] = true
+				if i > 0 && keys[p[i-1]] > keys[p[i]] {
+					t.Fatalf("workers=%d n=%d: out of order at %d", workers, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderStability(t *testing.T) {
+	// Many duplicate keys: indices within each key group must be
+	// increasing (stability).
+	keys := randKeys(5000, 16, 7)
+	p := Order(4, keys)
+	last := make(map[uint32]uint32)
+	for _, idx := range p {
+		k := keys[idx]
+		if prev, ok := last[k]; ok && idx < prev {
+			t.Fatalf("unstable: key %d saw index %d after %d", k, idx, prev)
+		}
+		last[k] = idx
+	}
+}
+
+func TestOrderMatchesStdlib(t *testing.T) {
+	if err := quick.Check(func(seed uint64, ln uint16) bool {
+		n := int(ln % 2000)
+		keys := randKeys(n, 1000, seed)
+		p := Order(3, keys)
+		got := make([]uint32, n)
+		for i, idx := range p {
+			got[i] = keys[idx]
+		}
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortU32(t *testing.T) {
+	keys := randKeys(3000, 0, 5)
+	SortU32(4, keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("SortU32 out of order at %d", i)
+		}
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 2, 100, 4096, 10000} {
+			counts := make([]int64, n)
+			r := xrand.New(uint64(n) * 31)
+			for i := range counts {
+				counts[i] = int64(r.Uint32n(100))
+			}
+			want := make([]int64, n)
+			var sum int64
+			for i := 0; i < n; i++ {
+				want[i] = sum
+				sum += counts[i]
+			}
+			total := ExclusiveScan(workers, counts)
+			if total != sum {
+				t.Fatalf("workers=%d n=%d: total %d != %d", workers, n, total, sum)
+			}
+			for i := range counts {
+				if counts[i] != want[i] {
+					t.Fatalf("workers=%d n=%d: scan[%d] = %d, want %d", workers, n, i, counts[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGroupRanges(t *testing.T) {
+	keys := []uint32{1, 1, 1, 3, 5, 5, 9}
+	type group struct {
+		key    uint32
+		lo, hi int
+	}
+	var got []group
+	GroupRanges(keys, func(k uint32, lo, hi int) { got = append(got, group{k, lo, hi}) })
+	want := []group{{1, 0, 3}, {3, 3, 4}, {5, 4, 6}, {9, 6, 7}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("group %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGroupRangesEmpty(t *testing.T) {
+	GroupRanges(nil, func(k uint32, lo, hi int) { t.Fatal("callback on empty input") })
+}
+
+func TestGroupRangesSingle(t *testing.T) {
+	calls := 0
+	GroupRanges([]uint32{42}, func(k uint32, lo, hi int) {
+		calls++
+		if k != 42 || lo != 0 || hi != 1 {
+			t.Fatalf("bad group (%d,%d,%d)", k, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func BenchmarkOrder1M(b *testing.B) {
+	keys := randKeys(1<<20, 1<<18, 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Order(0, keys)
+	}
+	b.SetBytes(4 << 20)
+}
+
+func BenchmarkStdlibSort1M(b *testing.B) {
+	keys := randKeys(1<<20, 1<<18, 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tmp := append([]uint32(nil), keys...)
+		b.StartTimer()
+		sort.Slice(tmp, func(x, y int) bool { return tmp[x] < tmp[y] })
+	}
+	b.SetBytes(4 << 20)
+}

@@ -1,0 +1,133 @@
+// Package reorder implements the vertex relabeling strategies the paper
+// lists as future work ("vertex and edge identifier reordering strategies
+// to improve cache performance"): degree ordering (hubs get small ids, so
+// hot adjacency data clusters at the front of the arrays) and BFS
+// ordering (traversal locality), plus the machinery to apply a
+// permutation to a CSR snapshot.
+package reorder
+
+import (
+	"sort"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/par"
+	"snapdyn/internal/psort"
+	"snapdyn/internal/traversal"
+)
+
+// Permutation maps old vertex ids to new ones: newID = perm[oldID]. A
+// valid permutation is a bijection on [0, n).
+type Permutation []uint32
+
+// Valid reports whether p is a bijection.
+func (p Permutation) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if int(v) >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns q with q[p[i]] = i.
+func (p Permutation) Inverse() Permutation {
+	q := make(Permutation, len(p))
+	for i, v := range p {
+		q[v] = uint32(i)
+	}
+	return q
+}
+
+// ByDegree returns the permutation placing vertices in decreasing degree
+// order (ties broken by old id for determinism): hubs first.
+func ByDegree(g *csr.Graph) Permutation {
+	order := make([]uint32, g.N)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	perm := make(Permutation, g.N)
+	for newID, oldID := range order {
+		perm[oldID] = uint32(newID)
+	}
+	return perm
+}
+
+// ByBFS returns the permutation numbering vertices in multi-source BFS
+// visit order from the given roots (unreached vertices keep relative
+// order after all reached ones). BFS ordering clusters neighborhoods,
+// improving traversal locality.
+func ByBFS(workers int, g *csr.Graph, roots []uint32) Permutation {
+	res := traversal.MultiBFS(workers, g, roots)
+	// Sort vertices by (level, old id); unreached (level -1) go last.
+	order := make([]uint32, g.N)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := res.Level[order[a]], res.Level[order[b]]
+		ua := la == traversal.NotVisited
+		ub := lb == traversal.NotVisited
+		if ua != ub {
+			return ub // reached before unreached
+		}
+		if la != lb {
+			return la < lb
+		}
+		return order[a] < order[b]
+	})
+	perm := make(Permutation, g.N)
+	for newID, oldID := range order {
+		perm[oldID] = uint32(newID)
+	}
+	return perm
+}
+
+// Apply relabels a CSR snapshot under the permutation in parallel,
+// returning a graph where vertex perm[u] has u's (relabeled) adjacency.
+func Apply(workers int, g *csr.Graph, perm Permutation) *csr.Graph {
+	n := g.N
+	inv := perm.Inverse()
+	counts := make([]int64, n+1)
+	par.ForDynamic(workers, n, 256, func(lo, hi int) {
+		for nu := lo; nu < hi; nu++ {
+			counts[nu] = g.Degree(inv[nu])
+		}
+	})
+	total := psort.ExclusiveScan(workers, counts)
+	out := &csr.Graph{
+		N:       n,
+		Offsets: counts,
+		Adj:     make([]uint32, total),
+		TS:      make([]uint32, total),
+	}
+	par.ForDynamic(workers, n, 256, func(lo, hi int) {
+		for nu := lo; nu < hi; nu++ {
+			adj, ts := g.Neighbors(inv[nu])
+			p := out.Offsets[nu]
+			for i := range adj {
+				out.Adj[p] = perm[adj[i]]
+				out.TS[p] = ts[i]
+				p++
+			}
+		}
+	})
+	return out
+}
+
+// Identity returns the identity permutation over n vertices.
+func Identity(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	return p
+}

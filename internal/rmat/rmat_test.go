@@ -1,0 +1,157 @@
+package rmat
+
+import (
+	"testing"
+
+	"snapdyn/internal/edge"
+)
+
+func TestValidate(t *testing.T) {
+	good := PaperParams(10, 100, 10, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	bad := []Params{
+		{Scale: 0, Edges: 1, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 32, Edges: 1, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, Edges: -1, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, Edges: 1, A: 0.5, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 4, Edges: 1, A: 0, B: 0.5, C: 0.25, D: 0.25},
+		{Scale: 4, Edges: 1, A: 0.25, B: 0.25, C: 0.25, D: 0.25, Noise: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	p := PaperParams(8, 5000, 100, 42)
+	edges, err := Generate(4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 5000 {
+		t.Fatalf("got %d edges, want 5000", len(edges))
+	}
+	n := uint32(p.NumVertices())
+	for _, e := range edges {
+		if e.U >= n || e.V >= n {
+			t.Fatalf("edge %v out of vertex range %d", e, n)
+		}
+		if e.T < 1 || e.T > 100 {
+			t.Fatalf("edge %v time label out of [1,100]", e)
+		}
+	}
+}
+
+func TestGenerateNoTimestamps(t *testing.T) {
+	p := PaperParams(6, 100, 0, 1)
+	edges, err := Generate(2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if e.T != edge.NoTime {
+			t.Fatalf("expected no time labels, got %v", e)
+		}
+	}
+}
+
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	p := PaperParams(10, 40000, 50, 777)
+	a, err := Generate(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(8, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs across worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	p1 := PaperParams(10, 1000, 50, 1)
+	p2 := PaperParams(10, 1000, 50, 2)
+	a, _ := Generate(2, p1)
+	b, _ := Generate(2, p2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds produced %d/%d identical edges", same, len(a))
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	// With a=0.6 the degree distribution must be heavily skewed: the max
+	// out-degree should far exceed the average.
+	p := PaperParams(14, 10*(1<<14), 0, 9)
+	edges, err := Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := DegreeHistogram(p.NumVertices(), edges)
+	maxDeg := len(hist) - 1
+	avg := 10.0
+	if float64(maxDeg) < 8*avg {
+		t.Fatalf("max degree %d too small for power-law shape (avg %v)", maxDeg, avg)
+	}
+	// And many vertices should have low degree.
+	low := 0
+	for d := 0; d <= 5 && d < len(hist); d++ {
+		low += hist[d]
+	}
+	if low < p.NumVertices()/2 {
+		t.Fatalf("only %d/%d vertices have degree <=5; not power-law shaped", low, p.NumVertices())
+	}
+}
+
+func TestUniformParamsRoughlyUniform(t *testing.T) {
+	p := Params{Scale: 10, Edges: 1 << 16, A: 0.25, B: 0.25, C: 0.25, D: 0.25, Seed: 3}
+	edges, err := Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := DegreeHistogram(p.NumVertices(), edges)
+	maxDeg := len(hist) - 1
+	// Erdos-Renyi-like: max degree should stay near the mean (64), far
+	// below power-law blowup.
+	if maxDeg > 64*4 {
+		t.Fatalf("uniform quadrant max degree %d unexpectedly large", maxDeg)
+	}
+}
+
+func TestDegreeHistogramTotal(t *testing.T) {
+	edges := []edge.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 0}}
+	hist := DegreeHistogram(3, edges)
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("histogram covers %d vertices, want 3", total)
+	}
+	if hist[2] != 1 || hist[1] != 1 || hist[0] != 1 {
+		t.Fatalf("unexpected histogram %v", hist)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	p := PaperParams(16, 10*(1<<16), 100, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(0, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package sssp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/traversal"
+	"snapdyn/internal/xrand"
+)
+
+func weightedGraph(n int, undirected bool, es ...[3]uint32) *csr.Graph {
+	edges := make([]edge.Edge, len(es))
+	for i, e := range es {
+		edges[i] = edge.Edge{U: e[0], V: e[1], T: e[2]} // T doubles as weight
+	}
+	return csr.FromEdges(1, n, edges, undirected)
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := weightedGraph(4, true, [3]uint32{0, 1, 5}, [3]uint32{1, 2, 7}, [3]uint32{2, 3, 2})
+	dist := Dijkstra(g, 0, LabelWeights)
+	want := []int64{0, 5, 12, 14}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestDijkstraPicksShorterPath(t *testing.T) {
+	// 0->2 direct costs 10; 0->1->2 costs 3+4=7.
+	g := weightedGraph(3, false,
+		[3]uint32{0, 2, 10}, [3]uint32{0, 1, 3}, [3]uint32{1, 2, 4})
+	dist := Dijkstra(g, 0, LabelWeights)
+	if dist[2] != 7 {
+		t.Fatalf("dist[2] = %d, want 7", dist[2])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := weightedGraph(3, false, [3]uint32{0, 1, 1})
+	dist := Dijkstra(g, 0, LabelWeights)
+	if dist[2] != Inf {
+		t.Fatalf("dist[2] = %d, want Inf", dist[2])
+	}
+}
+
+func TestUnitWeightsMatchBFS(t *testing.T) {
+	p := rmat.PaperParams(10, 6*(1<<10), 100, 3)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	src := edge.ID(0)
+	dist := Dijkstra(g, src, UnitWeights)
+	res := traversal.BFS(0, g, src)
+	for v := range dist {
+		want := int64(res.Level[v])
+		if res.Level[v] == traversal.NotVisited {
+			want = Inf
+		}
+		if dist[v] != want {
+			t.Fatalf("dist[%d] = %d, BFS level %d", v, dist[v], res.Level[v])
+		}
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstraSmall(t *testing.T) {
+	g := weightedGraph(5, true,
+		[3]uint32{0, 1, 2}, [3]uint32{1, 2, 2}, [3]uint32{0, 3, 9},
+		[3]uint32{2, 3, 1}, [3]uint32{3, 4, 6}, [3]uint32{1, 4, 20})
+	want := Dijkstra(g, 0, LabelWeights)
+	for _, delta := range []int64{1, 2, 5, 100, 0} {
+		got := DeltaStepping(2, g, 0, LabelWeights, delta)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("delta=%d: dist[%d] = %d, want %d", delta, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstraRMAT(t *testing.T) {
+	p := rmat.PaperParams(10, 8*(1<<10), 1000, 7)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	for _, src := range []edge.ID{0, 17, 999} {
+		want := Dijkstra(g, src, LabelWeights)
+		for _, workers := range []int{1, 4} {
+			got := DeltaStepping(workers, g, src, LabelWeights, 0)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("workers=%d src=%d: dist[%d] = %d, want %d",
+						workers, src, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingZeroWeights(t *testing.T) {
+	// Zero-weight edges are legal (light, no infinite loop).
+	g := weightedGraph(4, true,
+		[3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 5})
+	want := Dijkstra(g, 0, LabelWeights)
+	got := DeltaStepping(2, g, 0, LabelWeights, 3)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	if got[2] != 0 || got[3] != 5 {
+		t.Fatalf("zero-weight distances wrong: %v", got)
+	}
+}
+
+func TestDeltaSteppingProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 12 + int(r.Uint32n(20))
+		var es []edge.Edge
+		for i := 0; i < 4*n; i++ {
+			es = append(es, edge.Edge{
+				U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n)),
+				T: r.Uint32n(30),
+			})
+		}
+		g := csr.FromEdges(1, n, es, true)
+		src := edge.ID(r.Uint32n(uint32(n)))
+		want := Dijkstra(g, src, LabelWeights)
+		got := DeltaStepping(3, g, src, LabelWeights, 1+int64(r.Uint32n(20)))
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	g := weightedGraph(2, false, [3]uint32{0, 1, 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative weight")
+		}
+	}()
+	Dijkstra(g, 0, func(ts uint32) int64 { return -1 })
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := csr.FromEdges(1, 3, nil, false)
+	dist := DeltaStepping(2, g, 1, LabelWeights, 0)
+	if dist[1] != 0 || dist[0] != Inf || dist[2] != Inf {
+		t.Fatalf("isolated source distances wrong: %v", dist)
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	p := rmat.PaperParams(14, 8*(1<<14), 100, 5)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, 0, LabelWeights)
+	}
+}
+
+func BenchmarkDeltaStepping(b *testing.B) {
+	p := rmat.PaperParams(14, 8*(1<<14), 100, 5)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DeltaStepping(0, g, 0, LabelWeights, 0)
+	}
+}

@@ -1,0 +1,132 @@
+// Package stream generates and manipulates structural update streams —
+// the workloads of the paper's representation experiments: pure insertion
+// streams (graph construction), pure deletion streams over an existing
+// graph, and mixed streams with a given insertion ratio (Figure 6 uses
+// 75% insertions / 25% deletions). Streams can be shuffled (the paper's
+// mitigation for contiguous updates hammering one vertex) and cut into
+// batches.
+package stream
+
+import (
+	"fmt"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/xrand"
+)
+
+// Inserts converts an edge list into a pure insertion stream.
+func Inserts(edges []edge.Edge) []edge.Update {
+	ups := make([]edge.Update, len(edges))
+	par.ForBlock(0, len(edges), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ups[i] = edge.Update{Edge: edges[i], Op: edge.Insert}
+		}
+	})
+	return ups
+}
+
+// Deletions samples count random deletions of existing edges (without
+// replacement) from an edge list, the Figure 5 workload ("20 million
+// random deletions after constructing this network").
+func Deletions(edges []edge.Edge, count int, seed uint64) []edge.Update {
+	if count > len(edges) {
+		count = len(edges)
+	}
+	r := xrand.New(seed)
+	// Partial Fisher-Yates over a copy of the index space.
+	idx := make([]int32, len(edges))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	ups := make([]edge.Update, count)
+	for i := 0; i < count; i++ {
+		j := i + r.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		e := edges[idx[i]]
+		ups[i] = edge.Update{Edge: e, Op: edge.Delete}
+	}
+	return ups
+}
+
+// Mixed builds a stream of count updates with the given insertion
+// fraction (e.g. 0.75): insertions are fresh edges drawn from extra,
+// deletions target edges of base (sampled without replacement). extra
+// must hold at least ceil(count*insFrac) edges.
+func Mixed(base, extra []edge.Edge, count int, insFrac float64, seed uint64) ([]edge.Update, error) {
+	if insFrac < 0 || insFrac > 1 {
+		return nil, fmt.Errorf("stream: insertion fraction %v out of [0,1]", insFrac)
+	}
+	nIns := int(float64(count)*insFrac + 0.5)
+	nDel := count - nIns
+	if nIns > len(extra) {
+		return nil, fmt.Errorf("stream: need %d fresh edges for insertions, have %d", nIns, len(extra))
+	}
+	if nDel > len(base) {
+		return nil, fmt.Errorf("stream: need %d existing edges for deletions, have %d", nDel, len(base))
+	}
+	ups := make([]edge.Update, 0, count)
+	for i := 0; i < nIns; i++ {
+		ups = append(ups, edge.Update{Edge: extra[i], Op: edge.Insert})
+	}
+	ups = append(ups, Deletions(base, nDel, seed+1)...)
+	Shuffle(ups, seed+2)
+	return ups, nil
+}
+
+// Shuffle randomly permutes a stream in place — the paper's remedy for
+// load imbalance when "a stream of contiguous insertions corresponding to
+// adjacencies of one vertex" serializes on that vertex's lock.
+func Shuffle(ups []edge.Update, seed uint64) {
+	r := xrand.New(seed)
+	r.Shuffle(len(ups), func(i, j int) { ups[i], ups[j] = ups[j], ups[i] })
+}
+
+// Batches cuts a stream into consecutive batches of the given size (the
+// last may be shorter). The returned slices alias ups.
+func Batches(ups []edge.Update, size int) [][]edge.Update {
+	if size <= 0 {
+		size = len(ups)
+	}
+	var out [][]edge.Update
+	for lo := 0; lo < len(ups); lo += size {
+		hi := min(lo+size, len(ups))
+		out = append(out, ups[lo:hi])
+	}
+	return out
+}
+
+// Mirror doubles a stream for undirected graphs: every update on (u,v)
+// is followed by the mirrored update on (v,u). Self-loops are their own
+// mirror and stay single.
+func Mirror(ups []edge.Update) []edge.Update {
+	out := make([]edge.Update, 0, 2*len(ups))
+	for _, up := range ups {
+		out = append(out, up)
+		if up.U == up.V {
+			continue
+		}
+		m := up
+		m.U, m.V = up.V, up.U
+		out = append(out, m)
+	}
+	return out
+}
+
+// Sanitize drops structurally invalid updates (endpoints outside [0, n),
+// or self-loops when dropSelfLoops is set) and returns the cleaned stream
+// with the number dropped. Malformed interaction logs are routine in the
+// intelligence/surveillance settings the paper targets; the library's
+// policy is to filter, not crash.
+func Sanitize(ups []edge.Update, n int, dropSelfLoops bool) ([]edge.Update, int) {
+	out := ups[:0]
+	dropped := 0
+	for _, up := range ups {
+		if int(up.U) >= n || int(up.V) >= n || (dropSelfLoops && up.U == up.V) {
+			dropped++
+			continue
+		}
+		out = append(out, up)
+	}
+	return out, dropped
+}

@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"testing"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+)
+
+func sampleEdges(t *testing.T, scale, m int, seed uint64) []edge.Edge {
+	t.Helper()
+	p := rmat.PaperParams(scale, m, 100, seed)
+	edges, err := rmat.Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edges
+}
+
+func TestInserts(t *testing.T) {
+	edges := sampleEdges(t, 8, 1000, 1)
+	ups := Inserts(edges)
+	if len(ups) != len(edges) {
+		t.Fatalf("len = %d", len(ups))
+	}
+	for i := range ups {
+		if ups[i].Op != edge.Insert || ups[i].Edge != edges[i] {
+			t.Fatalf("update %d wrong: %v", i, ups[i])
+		}
+	}
+}
+
+func TestDeletionsSampleExistingWithoutReplacement(t *testing.T) {
+	edges := sampleEdges(t, 8, 500, 2)
+	dels := Deletions(edges, 200, 3)
+	if len(dels) != 200 {
+		t.Fatalf("len = %d", len(dels))
+	}
+	// Each deletion must reference a distinct edge-list position; since
+	// sampling is positional, multiset membership suffices here.
+	exists := map[edge.Edge]int{}
+	for _, e := range edges {
+		exists[e]++
+	}
+	for _, d := range dels {
+		if d.Op != edge.Delete {
+			t.Fatal("non-delete op")
+		}
+		if exists[d.Edge] == 0 {
+			t.Fatalf("deletion of non-existent edge %v", d.Edge)
+		}
+		exists[d.Edge]--
+	}
+}
+
+func TestDeletionsCapped(t *testing.T) {
+	edges := sampleEdges(t, 6, 50, 4)
+	dels := Deletions(edges, 1000, 5)
+	if len(dels) != 50 {
+		t.Fatalf("len = %d, want capped at 50", len(dels))
+	}
+}
+
+func TestMixedRatio(t *testing.T) {
+	base := sampleEdges(t, 9, 2000, 6)
+	extra := sampleEdges(t, 9, 2000, 7)
+	ups, err := Mixed(base, extra, 1000, 0.75, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 1000 {
+		t.Fatalf("len = %d", len(ups))
+	}
+	ins := 0
+	for _, u := range ups {
+		if u.Op == edge.Insert {
+			ins++
+		}
+	}
+	if ins != 750 {
+		t.Fatalf("insertions = %d, want 750", ins)
+	}
+}
+
+func TestMixedErrors(t *testing.T) {
+	base := sampleEdges(t, 6, 10, 9)
+	extra := sampleEdges(t, 6, 10, 10)
+	if _, err := Mixed(base, extra, 100, 0.75, 1); err == nil {
+		t.Fatal("expected error: not enough fresh edges")
+	}
+	if _, err := Mixed(base, extra, 100, 0.05, 1); err == nil {
+		t.Fatal("expected error: not enough base edges for deletions")
+	}
+	if _, err := Mixed(base, extra, 10, 1.5, 1); err == nil {
+		t.Fatal("expected error: bad fraction")
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	edges := sampleEdges(t, 8, 300, 11)
+	ups := Inserts(edges)
+	orig := map[edge.Update]int{}
+	for _, u := range ups {
+		orig[u]++
+	}
+	Shuffle(ups, 12)
+	for _, u := range ups {
+		orig[u]--
+	}
+	for k, c := range orig {
+		if c != 0 {
+			t.Fatalf("multiset changed at %v by %d", k, c)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	ups := Inserts(sampleEdges(t, 6, 105, 13))
+	bs := Batches(ups, 25)
+	if len(bs) != 5 {
+		t.Fatalf("batches = %d, want 5", len(bs))
+	}
+	total := 0
+	for i, b := range bs {
+		if i < 4 && len(b) != 25 {
+			t.Fatalf("batch %d size %d", i, len(b))
+		}
+		total += len(b)
+	}
+	if total != 105 {
+		t.Fatalf("total = %d", total)
+	}
+	if got := Batches(ups, 0); len(got) != 1 || len(got[0]) != 105 {
+		t.Fatal("size<=0 should give one batch")
+	}
+}
+
+func TestMirror(t *testing.T) {
+	ups := []edge.Update{{Edge: edge.Edge{U: 1, V: 2, T: 9}, Op: edge.Insert}}
+	m := Mirror(ups)
+	if len(m) != 2 {
+		t.Fatalf("len = %d", len(m))
+	}
+	if m[1].U != 2 || m[1].V != 1 || m[1].T != 9 || m[1].Op != edge.Insert {
+		t.Fatalf("mirrored = %v", m[1])
+	}
+	// Self-loops are their own mirror: no duplicate.
+	loops := Mirror([]edge.Update{{Edge: edge.Edge{U: 3, V: 3}, Op: edge.Insert}})
+	if len(loops) != 1 {
+		t.Fatalf("self-loop mirrored to %d updates, want 1", len(loops))
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	ups := []edge.Update{
+		{Edge: edge.Edge{U: 0, V: 1}},
+		{Edge: edge.Edge{U: 5, V: 1}},  // out of range
+		{Edge: edge.Edge{U: 2, V: 2}},  // self loop
+		{Edge: edge.Edge{U: 1, V: 99}}, // out of range
+	}
+	clean, dropped := Sanitize(ups, 4, true)
+	if dropped != 3 || len(clean) != 1 {
+		t.Fatalf("dropped %d, kept %d", dropped, len(clean))
+	}
+	ups2 := []edge.Update{{Edge: edge.Edge{U: 2, V: 2}}}
+	clean, dropped = Sanitize(ups2, 4, false)
+	if dropped != 0 || len(clean) != 1 {
+		t.Fatal("self loops should be kept when allowed")
+	}
+}

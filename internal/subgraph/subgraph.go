@@ -1,0 +1,145 @@
+// Package subgraph implements the paper's induced subgraph kernel:
+// extracting the graph induced by edges (or vertices) satisfying a
+// temporal condition, e.g. "edges created in time interval (20, 70)".
+//
+// Following the paper, the kernel makes one parallel pass over the edge
+// set to mark affected edges and keep a running count, then either builds
+// a new graph from the marked edges or (when few edges are affected)
+// deletes the complement from a dynamic store — "each edge in the graph
+// is visited at most twice in the worst case."
+package subgraph
+
+import (
+	"sync/atomic"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/psort"
+)
+
+// EdgePredicate selects edges for the induced subgraph.
+type EdgePredicate func(u, v edge.ID, t uint32) bool
+
+// TimeInterval returns a predicate accepting edges with time label
+// strictly inside (lo, hi), matching the paper's open-interval example.
+func TimeInterval(lo, hi uint32) EdgePredicate {
+	return func(_, _ edge.ID, t uint32) bool { return t > lo && t < hi }
+}
+
+// CountMatching performs the marking pass alone: one parallel sweep over
+// the arcs, returning the number accepted. Exposed because the paper
+// times marking and extraction as separate steps.
+func CountMatching(workers int, g *csr.Graph, pred EdgePredicate) int64 {
+	var count atomic.Int64
+	par.ForDynamic(workers, g.N, 256, func(lo, hi int) {
+		var local int64
+		for u := lo; u < hi; u++ {
+			adj, ts := g.Neighbors(edge.ID(u))
+			for i := range adj {
+				if pred(edge.ID(u), adj[i], ts[i]) {
+					local++
+				}
+			}
+		}
+		count.Add(local)
+	})
+	return count.Load()
+}
+
+// InducedByEdges extracts the subgraph of arcs accepted by pred. The
+// vertex set is unchanged (ids are stable); only arcs are filtered.
+// Pass 1 marks and counts per-vertex surviving degrees; pass 2 scatters
+// surviving arcs into a fresh CSR.
+func InducedByEdges(workers int, g *csr.Graph, pred EdgePredicate) *csr.Graph {
+	n := g.N
+	counts := make([]int64, n+1)
+	par.ForDynamic(workers, n, 256, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			adj, ts := g.Neighbors(edge.ID(u))
+			var d int64
+			for i := range adj {
+				if pred(edge.ID(u), adj[i], ts[i]) {
+					d++
+				}
+			}
+			counts[u] = d
+		}
+	})
+	total := psort.ExclusiveScan(workers, counts)
+	out := &csr.Graph{
+		N:       n,
+		Offsets: counts,
+		Adj:     make([]uint32, total),
+		TS:      make([]uint32, total),
+	}
+	par.ForDynamic(workers, n, 256, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			adj, ts := g.Neighbors(edge.ID(u))
+			p := out.Offsets[u]
+			for i := range adj {
+				if pred(edge.ID(u), adj[i], ts[i]) {
+					out.Adj[p] = adj[i]
+					out.TS[p] = ts[i]
+					p++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// InducedByVertices extracts the subgraph induced by the vertex set
+// keep: arcs survive iff both endpoints are kept. Vertex ids are stable.
+func InducedByVertices(workers int, g *csr.Graph, keep []bool) *csr.Graph {
+	return InducedByEdges(workers, g, func(u, v edge.ID, _ uint32) bool {
+		return keep[u] && keep[v]
+	})
+}
+
+// VerticesInWindow returns the keep-set of vertices incident to at least
+// one arc with time label in [lo, hi] — the "entities active in a time
+// interval" selector used to analyze network snapshots.
+func VerticesInWindow(workers int, g *csr.Graph, lo, hi uint32) []bool {
+	keep := make([]bool, g.N)
+	marks := make([]atomic.Bool, g.N)
+	par.ForDynamic(workers, g.N, 256, func(blo, bhi int) {
+		for u := blo; u < bhi; u++ {
+			adj, ts := g.Neighbors(edge.ID(u))
+			for i := range adj {
+				if ts[i] >= lo && ts[i] <= hi {
+					marks[u].Store(true)
+					marks[adj[i]].Store(true)
+				}
+			}
+		}
+	})
+	for i := range marks {
+		keep[i] = marks[i].Load()
+	}
+	return keep
+}
+
+// DeleteComplement is the paper's alternative extraction path for a
+// dynamic store: when most edges survive, it is cheaper to delete the
+// non-matching edges from the current dynamic graph than to rebuild.
+// It deletes every arc of g that pred rejects from store (which must
+// currently contain g's arcs) and returns the number deleted.
+func DeleteComplement(workers int, g *csr.Graph, store interface {
+	Delete(u, v edge.ID) bool
+}, pred EdgePredicate) int64 {
+	var deleted atomic.Int64
+	par.ForDynamic(workers, g.N, 256, func(lo, hi int) {
+		var local int64
+		for u := lo; u < hi; u++ {
+			adj, ts := g.Neighbors(edge.ID(u))
+			for i := range adj {
+				if !pred(edge.ID(u), adj[i], ts[i]) && store.Delete(edge.ID(u), adj[i]) {
+					local++
+				}
+			}
+		}
+		deleted.Add(local)
+	})
+	return deleted.Load()
+}

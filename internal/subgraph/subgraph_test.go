@@ -1,0 +1,151 @@
+package subgraph
+
+import (
+	"testing"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+)
+
+func testGraph() *csr.Graph {
+	edges := []edge.Edge{
+		{U: 0, V: 1, T: 10}, {U: 0, V: 2, T: 30}, {U: 1, V: 2, T: 50},
+		{U: 2, V: 3, T: 70}, {U: 3, V: 0, T: 90},
+	}
+	return csr.FromEdges(2, 4, edges, false)
+}
+
+func TestTimeIntervalPredicate(t *testing.T) {
+	pred := TimeInterval(20, 70)
+	if pred(0, 0, 20) || pred(0, 0, 70) {
+		t.Fatal("interval must be open")
+	}
+	if !pred(0, 0, 21) || !pred(0, 0, 69) {
+		t.Fatal("interior rejected")
+	}
+}
+
+func TestCountMatching(t *testing.T) {
+	g := testGraph()
+	if got := CountMatching(4, g, TimeInterval(20, 70)); got != 2 {
+		t.Fatalf("count = %d, want 2 (labels 30, 50)", got)
+	}
+	if got := CountMatching(4, g, func(_, _ edge.ID, _ uint32) bool { return true }); got != 5 {
+		t.Fatalf("count all = %d", got)
+	}
+}
+
+func TestInducedByEdges(t *testing.T) {
+	g := testGraph()
+	sub := InducedByEdges(4, g, TimeInterval(20, 70))
+	if sub.N != g.N {
+		t.Fatal("vertex set must be stable")
+	}
+	if sub.NumEdges() != 2 {
+		t.Fatalf("induced arcs = %d, want 2", sub.NumEdges())
+	}
+	adj, ts := sub.Neighbors(0)
+	if len(adj) != 1 || adj[0] != 2 || ts[0] != 30 {
+		t.Fatalf("neighbors of 0 = %v @%v", adj, ts)
+	}
+	adj, _ = sub.Neighbors(1)
+	if len(adj) != 1 || adj[0] != 2 {
+		t.Fatalf("neighbors of 1 = %v", adj)
+	}
+	if sub.Degree(2) != 0 || sub.Degree(3) != 0 {
+		t.Fatal("filtered arcs survived")
+	}
+}
+
+func TestInducedByVertices(t *testing.T) {
+	g := testGraph()
+	keep := []bool{true, true, true, false}
+	sub := InducedByVertices(4, g, keep)
+	// Arcs among {0,1,2}: 0->1, 0->2, 1->2.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("induced arcs = %d, want 3", sub.NumEdges())
+	}
+	if sub.Degree(2) != 0 {
+		t.Fatal("2->3 survived vertex filter")
+	}
+}
+
+func TestVerticesInWindow(t *testing.T) {
+	g := testGraph()
+	keep := VerticesInWindow(2, g, 60, 80) // only edge 2->3 @70
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Fatalf("keep[%d] = %v, want %v", i, keep[i], want[i])
+		}
+	}
+}
+
+func TestDeleteComplement(t *testing.T) {
+	g := testGraph()
+	s := dyngraph.NewDynArr(4, 8)
+	for u := 0; u < g.N; u++ {
+		adj, ts := g.Neighbors(edge.ID(u))
+		for i := range adj {
+			s.Insert(edge.ID(u), adj[i], ts[i])
+		}
+	}
+	deleted := DeleteComplement(4, g, s, TimeInterval(20, 70))
+	if deleted != 3 {
+		t.Fatalf("deleted = %d, want 3", deleted)
+	}
+	if s.NumEdges() != 2 {
+		t.Fatalf("remaining = %d, want 2", s.NumEdges())
+	}
+	if !s.Has(0, 2) || !s.Has(1, 2) || s.Has(0, 1) {
+		t.Fatal("wrong survivors")
+	}
+}
+
+func TestExtractionPathsAgree(t *testing.T) {
+	// Building a new graph and deleting the complement must agree on the
+	// surviving edge multiset.
+	p := rmat.PaperParams(10, 8*(1<<10), 100, 17)
+	edgesL, _ := rmat.Generate(0, p)
+	n := p.NumVertices()
+	g := csr.FromEdges(4, n, edgesL, false)
+	pred := TimeInterval(20, 70)
+
+	sub := InducedByEdges(4, g, pred)
+
+	s := dyngraph.NewHybrid(n, len(edgesL), 0, 7)
+	dyngraph.InsertAll(s, 4, edgesL)
+	DeleteComplement(4, g, s, pred)
+
+	if int64(s.NumEdges()) != sub.NumEdges() {
+		t.Fatalf("paths disagree: rebuild %d vs delete %d", sub.NumEdges(), s.NumEdges())
+	}
+	for u := 0; u < n; u++ {
+		if int(sub.Degree(edge.ID(u))) != s.Degree(edge.ID(u)) {
+			t.Fatalf("vertex %d: rebuild degree %d vs delete degree %d",
+				u, sub.Degree(edge.ID(u)), s.Degree(edge.ID(u)))
+		}
+	}
+	// Count must match the standalone marking pass.
+	if c := CountMatching(4, g, pred); c != sub.NumEdges() {
+		t.Fatalf("count %d != induced %d", c, sub.NumEdges())
+	}
+}
+
+func TestInducedDeterministicAcrossWorkers(t *testing.T) {
+	p := rmat.PaperParams(9, 4*(1<<9), 50, 23)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(4, p.NumVertices(), edgesL, false)
+	a := InducedByEdges(1, g, TimeInterval(10, 40))
+	b := InducedByEdges(8, g, TimeInterval(10, 40))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("edge counts differ across workers")
+	}
+	for u := 0; u < g.N; u++ {
+		if a.Degree(edge.ID(u)) != b.Degree(edge.ID(u)) {
+			t.Fatalf("degree(%d) differs across workers", u)
+		}
+	}
+}

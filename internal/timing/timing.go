@@ -1,0 +1,127 @@
+// Package timing provides the measurement harness shared by the figure
+// drivers: wall-clock timing, the paper's MUPS metric (millions of
+// updates per second), worker-count sweeps, and aligned table output for
+// paper-style series.
+package timing
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"snapdyn/internal/par"
+)
+
+// Time runs fn and returns its wall-clock duration in seconds.
+func Time(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// MUPS converts an operation count and duration to millions of updates
+// per second, the paper's performance rate.
+func MUPS(ops int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(ops) / seconds / 1e6
+}
+
+// SweepWorkers returns the worker counts for a scaling experiment:
+// doubling from 1 up to max (always including max). max <= 0 uses
+// GOMAXPROCS.
+func SweepWorkers(max int) []int {
+	if max <= 0 {
+		max = par.MaxWorkers()
+	}
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// Measurement is one data point of a figure series.
+type Measurement struct {
+	Label   string  // series name, e.g. "dyn-arr"
+	Param   string  // x-axis value, e.g. "p=8" or "n=2^20"
+	Workers int     // worker count used
+	Ops     int64   // operations performed (updates, queries, edges)
+	Seconds float64 // wall-clock duration
+}
+
+// MUPS returns the measurement's update rate.
+func (m Measurement) MUPS() float64 { return MUPS(m.Ops, m.Seconds) }
+
+// Table collects the measurements reproducing one paper figure.
+type Table struct {
+	Title string
+	Note  string
+	Rows  []Measurement
+}
+
+// Add appends a measurement.
+func (t *Table) Add(m Measurement) { t.Rows = append(t.Rows, m) }
+
+// Speedup returns m's speedup relative to the 1-worker measurement with
+// the same label (and, when present, the same Param), or 0 when absent.
+func (t *Table) Speedup(m Measurement) float64 {
+	var base float64
+	for _, r := range t.Rows {
+		if r.Label == m.Label && r.Workers == 1 && (r.Param == m.Param || r.Param == "" || m.Param == "") {
+			base = r.Seconds
+			break
+		}
+	}
+	if base == 0 || m.Seconds == 0 {
+		return 0
+	}
+	return base / m.Seconds
+}
+
+// Fprint writes the table in aligned columns with MUPS and speedup.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "   %s\n", t.Note)
+	}
+	fmt.Fprintf(w, "%-24s %-14s %8s %12s %12s %10s %9s\n",
+		"series", "param", "workers", "ops", "seconds", "MUPS", "speedup")
+	for _, m := range t.Rows {
+		sp := t.Speedup(m)
+		spStr := "-"
+		if sp > 0 {
+			spStr = fmt.Sprintf("%.2f", sp)
+		}
+		fmt.Fprintf(w, "%-24s %-14s %8d %12d %12.4f %10.2f %9s\n",
+			m.Label, m.Param, m.Workers, m.Ops, m.Seconds, m.MUPS(), spStr)
+	}
+}
+
+// BestMUPS returns the highest-rate measurement per label, useful for
+// "who wins" summaries.
+func (t *Table) BestMUPS() map[string]Measurement {
+	best := map[string]Measurement{}
+	for _, m := range t.Rows {
+		if cur, ok := best[m.Label]; !ok || m.MUPS() > cur.MUPS() {
+			best[m.Label] = m
+		}
+	}
+	return best
+}
+
+// Labels returns the distinct series labels in sorted order.
+func (t *Table) Labels() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range t.Rows {
+		if !seen[m.Label] {
+			seen[m.Label] = true
+			out = append(out, m.Label)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

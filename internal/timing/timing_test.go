@@ -1,0 +1,85 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTime(t *testing.T) {
+	secs := Time(func() { time.Sleep(10 * time.Millisecond) })
+	if secs < 0.005 || secs > 1 {
+		t.Fatalf("measured %v seconds for a 10ms sleep", secs)
+	}
+}
+
+func TestMUPS(t *testing.T) {
+	if got := MUPS(25_000_000, 1.0); got != 25 {
+		t.Fatalf("MUPS = %v, want 25", got)
+	}
+	if got := MUPS(100, 0); got != 0 {
+		t.Fatalf("MUPS with zero time = %v", got)
+	}
+}
+
+func TestSweepWorkers(t *testing.T) {
+	got := SweepWorkers(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+	got = SweepWorkers(6)
+	want = []int{1, 2, 4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep(6) = %v, want %v", got, want)
+		}
+	}
+	if got := SweepWorkers(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("sweep(1) = %v", got)
+	}
+	if got := SweepWorkers(0); len(got) == 0 {
+		t.Fatal("sweep(0) empty")
+	}
+}
+
+func TestSpeedupAndPrint(t *testing.T) {
+	tbl := &Table{Title: "test", Note: "note"}
+	tbl.Add(Measurement{Label: "a", Workers: 1, Ops: 1000, Seconds: 2.0})
+	tbl.Add(Measurement{Label: "a", Workers: 4, Ops: 1000, Seconds: 0.5})
+	tbl.Add(Measurement{Label: "b", Workers: 4, Ops: 1000, Seconds: 0.5})
+	if sp := tbl.Speedup(tbl.Rows[1]); sp != 4 {
+		t.Fatalf("speedup = %v, want 4", sp)
+	}
+	if sp := tbl.Speedup(tbl.Rows[2]); sp != 0 {
+		t.Fatalf("speedup without baseline = %v, want 0", sp)
+	}
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== test ==", "note", "speedup", "4.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBestMUPSAndLabels(t *testing.T) {
+	tbl := &Table{}
+	tbl.Add(Measurement{Label: "x", Workers: 1, Ops: 100, Seconds: 1})
+	tbl.Add(Measurement{Label: "x", Workers: 2, Ops: 100, Seconds: 0.1})
+	tbl.Add(Measurement{Label: "y", Workers: 1, Ops: 100, Seconds: 0.5})
+	best := tbl.BestMUPS()
+	if best["x"].Workers != 2 {
+		t.Fatalf("best x = %+v", best["x"])
+	}
+	labels := tbl.Labels()
+	if len(labels) != 2 || labels[0] != "x" || labels[1] != "y" {
+		t.Fatalf("labels = %v", labels)
+	}
+}

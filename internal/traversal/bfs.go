@@ -1,0 +1,260 @@
+// Package traversal implements the paper's level-synchronous parallel
+// breadth-first search over CSR snapshots, including the degree-aware
+// work partitioning used for graphs with unbalanced degree distributions
+// and the time-stamp-filtered (temporal) variant used for dynamic
+// analysis without auxiliary memory.
+//
+// The algorithm processes the frontier one level at a time (O(d) parallel
+// phases for diameter d, optimal linear work). Within a level, work is
+// partitioned by *edges*, not vertices: a prefix sum over frontier
+// degrees lets each worker claim an equal slice of arcs, so a single
+// high-degree hub cannot serialize a level — the "we process high-degree
+// and low-degree vertices differently" optimization.
+package traversal
+
+import (
+	"sync/atomic"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/psort"
+)
+
+// NotVisited marks unreached vertices in level and parent arrays.
+const NotVisited = int32(-1)
+
+// Result holds a BFS traversal outcome.
+type Result struct {
+	// Level[v] is the hop distance from the source, or NotVisited.
+	Level []int32
+	// Parent[v] is the BFS-tree parent, or the vertex itself for the
+	// source, or undefined (check Level) for unreached vertices.
+	Parent []uint32
+	// Reached counts visited vertices (including the source).
+	Reached int
+	// Levels counts frontier expansions (the BFS tree height + 1).
+	Levels int
+}
+
+// EdgeFilter restricts traversal to arcs it accepts. The zero filter
+// (AllEdges) accepts everything; TimeWindow restricts by time label.
+type EdgeFilter func(t uint32) bool
+
+// AllEdges accepts every arc.
+func AllEdges(uint32) bool { return true }
+
+// TimeWindow returns a filter accepting time labels in [lo, hi].
+func TimeWindow(lo, hi uint32) EdgeFilter {
+	return func(t uint32) bool { return t >= lo && t <= hi }
+}
+
+// BFS runs a parallel level-synchronous BFS from src over all arcs.
+func BFS(workers int, g *csr.Graph, src edge.ID) *Result {
+	return bfs(workers, g, src, nil)
+}
+
+// TemporalBFS runs BFS traversing only arcs whose time label the filter
+// accepts: the paper's "augmented BFS with a check for time-stamps",
+// which recomputes from scratch using no auxiliary memory beyond the
+// visited map.
+func TemporalBFS(workers int, g *csr.Graph, src edge.ID, filter EdgeFilter) *Result {
+	if filter == nil {
+		filter = AllEdges
+	}
+	return bfs(workers, g, src, filter)
+}
+
+// MultiBFS runs a parallel BFS from all sources simultaneously (each at
+// level 0), producing a spanning forest of the union of their reachable
+// sets. Used to build link-cut forests with one traversal regardless of
+// the component count.
+func MultiBFS(workers int, g *csr.Graph, sources []uint32) *Result {
+	return bfsMulti(workers, g, sources, nil)
+}
+
+func bfs(workers int, g *csr.Graph, src edge.ID, filter EdgeFilter) *Result {
+	return bfsMulti(workers, g, []uint32{uint32(src)}, filter)
+}
+
+func bfsMulti(workers int, g *csr.Graph, sources []uint32, filter EdgeFilter) *Result {
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	n := g.N
+	res := &Result{
+		Level:  make([]int32, n),
+		Parent: make([]uint32, n),
+	}
+	for i := range res.Level {
+		res.Level[i] = NotVisited
+	}
+	for _, s := range sources {
+		res.Level[s] = 0
+		res.Parent[s] = s
+	}
+	res.Reached = len(sources)
+
+	frontier := append([]uint32(nil), sources...)
+	offsets := make([]int64, 0, 1024)
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		// Degree prefix sum over the frontier for edge-balanced
+		// partitioning.
+		offsets = offsets[:0]
+		for _, u := range frontier {
+			offsets = append(offsets, g.Degree(u))
+		}
+		offsets = append(offsets, 0)
+		totalWork := psort.ExclusiveScan(workers, offsets)
+
+		next := make([][]uint32, workers)
+		if totalWork > 0 {
+			par.ForBlock(workers, int(totalWork), func(lo, hi int) {
+				w := searchWorker(workers, int(totalWork), lo)
+				local := next[w]
+				// Locate the first frontier vertex whose arc range
+				// intersects [lo, hi).
+				vi := searchOffsets(offsets, int64(lo))
+				for pos := int64(lo); pos < int64(hi); {
+					for offsets[vi+1] <= pos {
+						vi++
+					}
+					u := frontier[vi]
+					base := g.Offsets[u] + (pos - offsets[vi])
+					end := g.Offsets[u] + (offsets[vi+1] - offsets[vi])
+					stop := g.Offsets[u] + (int64(hi) - offsets[vi])
+					if stop < end {
+						end = stop
+					}
+					for p := base; p < end; p++ {
+						v := g.Adj[p]
+						if filter != nil && !filter(g.TS[p]) {
+							continue
+						}
+						if atomic.LoadInt32(&res.Level[v]) != NotVisited {
+							continue
+						}
+						if atomic.CompareAndSwapInt32(&res.Level[v], NotVisited, level) {
+							res.Parent[v] = u
+							local = append(local, v)
+						}
+					}
+					pos = end - g.Offsets[u] + offsets[vi]
+				}
+				next[w] = local
+			})
+		}
+		frontier = frontier[:0]
+		for _, l := range next {
+			frontier = append(frontier, l...)
+			res.Reached += len(l)
+		}
+	}
+	res.Levels = int(level)
+	return res
+}
+
+// searchOffsets returns the largest index i with offsets[i] <= pos.
+func searchOffsets(offsets []int64, pos int64) int {
+	lo, hi := 0, len(offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if offsets[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// searchWorker mirrors par.ForBlock's static partitioning.
+func searchWorker(workers, n, lo int) int {
+	q, r := n/workers, n%workers
+	big := r * (q + 1)
+	if lo < big {
+		return lo / (q + 1)
+	}
+	if q == 0 {
+		return workers - 1
+	}
+	return r + (lo-big)/q
+}
+
+// STConnected answers an st-connectivity query by BFS from s, stopping
+// early once t is reached. It returns reachability and the hop distance
+// (-1 when unreachable).
+func STConnected(workers int, g *csr.Graph, s, t edge.ID) (bool, int32) {
+	if s == t {
+		return true, 0
+	}
+	res := BFS(workers, g, s)
+	if res.Level[t] == NotVisited {
+		return false, -1
+	}
+	return true, res.Level[t]
+}
+
+// STConnectedBidirectional answers st-connectivity by expanding
+// alternating frontiers from both endpoints (the strategy of the
+// authors' MTA-2 st-connectivity study, paper reference [4]): on
+// low-diameter graphs each side explores only about half the depth,
+// touching far fewer edges than a full one-sided BFS. g must be
+// symmetric. Returns reachability and the exact hop distance.
+func STConnectedBidirectional(g *csr.Graph, s, t edge.ID) (bool, int32) {
+	if s == t {
+		return true, 0
+	}
+	n := g.N
+	// side: 0 unvisited, 1 reached from s, 2 reached from t.
+	side := make([]uint8, n)
+	dist := make([]int32, n)
+	side[s], side[t] = 1, 2
+	fs := []uint32{uint32(s)}
+	ft := []uint32{uint32(t)}
+	var ds, dt int32
+	best := int32(-1)
+	// Keep expanding (smaller frontier first) until no path can beat the
+	// best meeting found: any undiscovered s-t path is longer than
+	// ds + dt + 1 once both depths are complete.
+	for len(fs) > 0 && len(ft) > 0 && (best < 0 || ds+dt+1 < best) {
+		expandS := len(fs) <= len(ft)
+		var frontier []uint32
+		var own, other uint8
+		var depth int32
+		if expandS {
+			ds++
+			frontier, own, other, depth = fs, 1, 2, ds
+		} else {
+			dt++
+			frontier, own, other, depth = ft, 2, 1, dt
+		}
+		var next []uint32
+		for _, u := range frontier {
+			adj, _ := g.Neighbors(u)
+			for _, v := range adj {
+				switch side[v] {
+				case 0:
+					side[v] = own
+					dist[v] = depth
+					next = append(next, v)
+				case other:
+					if total := depth + dist[v]; best < 0 || total < best {
+						best = total
+					}
+				}
+			}
+		}
+		if expandS {
+			fs = next
+		} else {
+			ft = next
+		}
+	}
+	if best < 0 {
+		return false, -1
+	}
+	return true, best
+}

@@ -1,0 +1,122 @@
+package traversal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/xrand"
+)
+
+func TestBidirectionalLine(t *testing.T) {
+	g := lineGraph(50)
+	ok, d := STConnectedBidirectional(g, 0, 49)
+	if !ok || d != 49 {
+		t.Fatalf("got (%v,%d), want (true,49)", ok, d)
+	}
+	ok, d = STConnectedBidirectional(g, 10, 10)
+	if !ok || d != 0 {
+		t.Fatalf("self query (%v,%d)", ok, d)
+	}
+	ok, d = STConnectedBidirectional(g, 3, 4)
+	if !ok || d != 1 {
+		t.Fatalf("adjacent query (%v,%d)", ok, d)
+	}
+}
+
+func TestBidirectionalDisconnected(t *testing.T) {
+	edges := []edge.Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+	g := csr.FromEdges(1, 4, edges, true)
+	ok, d := STConnectedBidirectional(g, 0, 3)
+	if ok || d != -1 {
+		t.Fatalf("got (%v,%d), want (false,-1)", ok, d)
+	}
+}
+
+func TestBidirectionalMatchesBFSOnRMAT(t *testing.T) {
+	p := rmat.PaperParams(10, 6*(1<<10), 0, 29)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	r := xrand.New(3)
+	n := uint32(g.N)
+	for i := 0; i < 300; i++ {
+		s, tt := edge.ID(r.Uint32n(n)), edge.ID(r.Uint32n(n))
+		res := BFS(0, g, s)
+		wantOK := res.Level[tt] != NotVisited
+		wantD := res.Level[tt]
+		gotOK, gotD := STConnectedBidirectional(g, s, tt)
+		if gotOK != wantOK {
+			t.Fatalf("(%d,%d): reachability %v, want %v", s, tt, gotOK, wantOK)
+		}
+		if gotOK && gotD != wantD {
+			t.Fatalf("(%d,%d): distance %d, want %d", s, tt, gotD, wantD)
+		}
+	}
+}
+
+func TestBidirectionalPropertyRandomGraphs(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 8 + int(r.Uint32n(24))
+		var es []edge.Edge
+		for i := 0; i < 3*n; i++ {
+			es = append(es, edge.Edge{U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n))})
+		}
+		g := csr.FromEdges(1, n, es, true)
+		s := edge.ID(r.Uint32n(uint32(n)))
+		tt := edge.ID(r.Uint32n(uint32(n)))
+		res := BFS(1, g, s)
+		wantOK := res.Level[tt] != NotVisited
+		gotOK, gotD := STConnectedBidirectional(g, s, tt)
+		if gotOK != wantOK {
+			return false
+		}
+		return !gotOK || gotD == res.Level[tt]
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiBFSCoversAllSources(t *testing.T) {
+	edges := []edge.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 3, V: 4}}
+	g := csr.FromEdges(1, 6, edges, true)
+	res := MultiBFS(2, g, []uint32{0, 2, 5})
+	if res.Reached != 6 {
+		t.Fatalf("reached %d, want 6", res.Reached)
+	}
+	for _, src := range []int{0, 2, 5} {
+		if res.Level[src] != 0 {
+			t.Fatalf("source %d at level %d", src, res.Level[src])
+		}
+	}
+	if res.Level[1] != 1 || res.Level[3] != 1 || res.Level[4] != 2 {
+		t.Fatalf("levels wrong: %v", res.Level)
+	}
+}
+
+func TestMultiBFSEmptySources(t *testing.T) {
+	g := lineGraph(4)
+	res := MultiBFS(2, g, nil)
+	if res.Reached != 0 {
+		t.Fatalf("reached %d from no sources", res.Reached)
+	}
+	for _, l := range res.Level {
+		if l != NotVisited {
+			t.Fatal("vertex visited from no sources")
+		}
+	}
+}
+
+func BenchmarkSTConnectedBidirectional(b *testing.B) {
+	p := rmat.PaperParams(14, 8*(1<<14), 0, 5)
+	edgesL, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edgesL, true)
+	r := xrand.New(1)
+	n := uint32(g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		STConnectedBidirectional(g, r.Uint32n(n), r.Uint32n(n))
+	}
+}

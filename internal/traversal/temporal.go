@@ -1,0 +1,71 @@
+package traversal
+
+import (
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+)
+
+// TemporalReachability computes the set of vertices reachable from src
+// by time-respecting paths: sequences of edges with strictly increasing
+// time labels (the temporal-path semantics of Kempe et al. used by the
+// paper's temporal betweenness). This differs from a window-filtered
+// BFS: an edge is usable only if its label exceeds the label of the edge
+// on which its tail was reached.
+//
+// The traversal maintains, per vertex, the minimum arrival label over
+// all time-respecting paths found so far; a vertex is re-relaxed when a
+// path with a smaller arrival label appears, since that admits more
+// continuations. Termination: arrival labels strictly decrease per
+// vertex on re-insertion, and labels are bounded below.
+//
+// Returns the arrival label per vertex (0 for src, edge.NoTime-marked
+// impossible for unreachable) and the reached count.
+func TemporalReachability(g *csr.Graph, src edge.ID) (arrive []uint32, reached int) {
+	const unreached = ^uint32(0)
+	arrive = make([]uint32, g.N)
+	for i := range arrive {
+		arrive[i] = unreached
+	}
+	arrive[src] = 0
+	queue := []uint32{uint32(src)}
+	inQueue := make([]bool, g.N)
+	inQueue[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		au := arrive[u]
+		adj, ts := g.Neighbors(u)
+		for i, v := range adj {
+			t := ts[i]
+			// First hop from the source is unconstrained; afterwards
+			// labels must strictly increase.
+			if u != uint32(src) && t <= au {
+				continue
+			}
+			if t < arrive[v] {
+				arrive[v] = t
+				if !inQueue[v] {
+					inQueue[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	for _, a := range arrive {
+		if a != unreached {
+			reached++
+		}
+	}
+	return arrive, reached
+}
+
+// TemporallyReachable reports whether a time-respecting path exists from
+// u to v.
+func TemporallyReachable(g *csr.Graph, u, v edge.ID) bool {
+	if u == v {
+		return true
+	}
+	arrive, _ := TemporalReachability(g, u)
+	return arrive[v] != ^uint32(0)
+}

@@ -1,0 +1,151 @@
+package traversal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/xrand"
+)
+
+func temporalGraph(n int, es ...[3]uint32) *csr.Graph {
+	edges := make([]edge.Edge, len(es))
+	for i, e := range es {
+		edges[i] = edge.Edge{U: e[0], V: e[1], T: e[2]}
+	}
+	return csr.FromEdges(1, n, edges, false)
+}
+
+func TestTemporalReachabilityIncreasingPath(t *testing.T) {
+	g := temporalGraph(4, [3]uint32{0, 1, 10}, [3]uint32{1, 2, 20}, [3]uint32{2, 3, 30})
+	arrive, reached := TemporalReachability(g, 0)
+	if reached != 4 {
+		t.Fatalf("reached %d, want 4", reached)
+	}
+	if arrive[1] != 10 || arrive[2] != 20 || arrive[3] != 30 {
+		t.Fatalf("arrivals = %v", arrive)
+	}
+}
+
+func TestTemporalReachabilityDecreasingBlocks(t *testing.T) {
+	g := temporalGraph(3, [3]uint32{0, 1, 50}, [3]uint32{1, 2, 10})
+	_, reached := TemporalReachability(g, 0)
+	if reached != 2 {
+		t.Fatalf("reached %d, want 2 (10 <= 50 blocks continuation)", reached)
+	}
+	if TemporallyReachable(g, 0, 2) {
+		t.Fatal("0 should not temporally reach 2")
+	}
+	if !TemporallyReachable(g, 1, 2) {
+		t.Fatal("direct edge must be usable")
+	}
+	if !TemporallyReachable(g, 2, 2) {
+		t.Fatal("self reachability")
+	}
+}
+
+func TestTemporalReachabilityEqualLabelsBlock(t *testing.T) {
+	// Strictly increasing: equal labels do not chain.
+	g := temporalGraph(3, [3]uint32{0, 1, 5}, [3]uint32{1, 2, 5})
+	_, reached := TemporalReachability(g, 0)
+	if reached != 2 {
+		t.Fatalf("reached %d, want 2", reached)
+	}
+}
+
+func TestTemporalReachabilityPrefersSmallArrival(t *testing.T) {
+	// Two routes to 1: label 50 (direct) and 10 (via 2). Reaching 1 at
+	// 10 enables the 1->3 @20 edge; at 50 it would not.
+	g := temporalGraph(4,
+		[3]uint32{0, 1, 50},
+		[3]uint32{0, 2, 5}, [3]uint32{2, 1, 10},
+		[3]uint32{1, 3, 20},
+	)
+	arrive, reached := TemporalReachability(g, 0)
+	if reached != 4 {
+		t.Fatalf("reached %d, want 4 (min-arrival relaxation)", reached)
+	}
+	if arrive[1] != 10 || arrive[3] != 20 {
+		t.Fatalf("arrivals = %v", arrive)
+	}
+}
+
+func TestTemporalReachabilitySubsetOfStatic(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 8 + int(r.Uint32n(16))
+		var es []edge.Edge
+		for i := 0; i < 4*n; i++ {
+			es = append(es, edge.Edge{
+				U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n)), T: 1 + r.Uint32n(40),
+			})
+		}
+		g := csr.FromEdges(1, n, es, false)
+		src := edge.ID(r.Uint32n(uint32(n)))
+		arrive, _ := TemporalReachability(g, src)
+		static := BFS(1, g, src)
+		for v := range arrive {
+			tReach := arrive[v] != ^uint32(0)
+			sReach := static.Level[v] != NotVisited
+			if tReach && !sReach {
+				return false // temporal reach must imply static reach
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteTemporalReach explores all time-respecting paths (exponential but
+// tiny n) to validate the relaxation algorithm.
+func bruteTemporalReach(g *csr.Graph, src edge.ID) []bool {
+	reach := make([]bool, g.N)
+	reach[src] = true
+	var dfs func(u uint32, last uint32, first bool)
+	seen := map[[2]uint32]bool{}
+	dfs = func(u uint32, last uint32, first bool) {
+		adj, ts := g.Neighbors(u)
+		for i, v := range adj {
+			t := ts[i]
+			if !first && t <= last {
+				continue
+			}
+			reach[v] = true
+			key := [2]uint32{v, t}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			dfs(v, t, false)
+		}
+	}
+	dfs(uint32(src), 0, true)
+	return reach
+}
+
+func TestTemporalReachabilityMatchesBruteForce(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 5 + int(r.Uint32n(6))
+		var es []edge.Edge
+		for i := 0; i < 2*n; i++ {
+			es = append(es, edge.Edge{
+				U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n)), T: 1 + r.Uint32n(8),
+			})
+		}
+		g := csr.FromEdges(1, n, es, false)
+		src := edge.ID(r.Uint32n(uint32(n)))
+		arrive, _ := TemporalReachability(g, src)
+		want := bruteTemporalReach(g, src)
+		for v := range want {
+			if (arrive[v] != ^uint32(0)) != want[v] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package xrand provides small, fast, splittable pseudo-random number
+// generators used throughout snapdyn for deterministic parallel graph and
+// stream generation.
+//
+// The generators are not cryptographically secure. They are chosen for
+// speed (a few ALU ops per value), statistical quality adequate for
+// synthetic workload generation (splitmix64 / xoshiro-style mixing), and
+// splittability: a parent generator can derive independent child streams,
+// one per worker goroutine, so parallel generation is deterministic for a
+// given seed regardless of scheduling.
+package xrand
+
+import "math/bits"
+
+// State is a splitmix64-based generator. The zero value is a valid
+// generator seeded with 0; use New to seed explicitly.
+type State struct {
+	s uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *State {
+	return &State{s: seed}
+}
+
+// mix64 is the splitmix64 output function (Steele, Lea, Flood 2014).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *State) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	return mix64(r.s)
+}
+
+// Uint32 returns the next 32-bit value.
+func (r *State) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Float64 returns a value in [0, 1).
+func (r *State) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *State) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a value in [0, n) using Lemire's nearly-divisionless
+// reduction. n must be > 0.
+func (r *State) Uint64n(n uint64) uint64 {
+	hi, _ := bits.Mul64(r.Uint64(), n)
+	return hi
+}
+
+// Uint32n returns a value in [0, n). n must be > 0.
+func (r *State) Uint32n(n uint32) uint32 {
+	return uint32((uint64(r.Uint32()) * uint64(n)) >> 32)
+}
+
+// Split derives an independent child generator. The child's stream does
+// not overlap the parent's for practical stream lengths because the child
+// seed is a full avalanche mix of the parent's next output.
+func (r *State) Split() *State {
+	return &State{s: mix64(r.Uint64()) ^ 0x6a09e667f3bcc909}
+}
+
+// Perm fills p with a pseudo-random permutation of [0, len(p)).
+func (r *State) Perm(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+func (r *State) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,258 @@
+package snapdyn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := New(100, WithExpectedEdges(1000), Undirected())
+	g.InsertEdge(1, 2, 10)
+	g.InsertEdge(2, 3, 20)
+	g.InsertEdge(10, 11, 30)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("undirected insert must create both arcs")
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("arcs = %d, want 6", g.NumEdges())
+	}
+	snap := g.Snapshot(2)
+	conn := snap.Connectivity(2)
+	if !conn.Connected(1, 3) {
+		t.Fatal("1 and 3 must be connected")
+	}
+	if conn.Connected(1, 10) {
+		t.Fatal("1 and 10 must not be connected")
+	}
+	// Vertices {1,2,3} and {10,11} form 2 components; 95 singletons.
+	if snap.ComponentCount(2) != 100-5+2 {
+		t.Fatalf("components = %d", snap.ComponentCount(2))
+	}
+}
+
+func TestRepresentations(t *testing.T) {
+	reps := []Representation{RepHybrid, RepDynArr, RepTreaps, RepVpart, RepEpart}
+	for _, r := range reps {
+		g := New(10, WithRepresentation(r))
+		if g.Representation() != r.String() {
+			t.Fatalf("rep name %q != %q", g.Representation(), r.String())
+		}
+		g.InsertEdge(0, 1, 5)
+		if !g.HasEdge(0, 1) || g.OutDegree(0) != 1 {
+			t.Fatalf("%v: basic ops broken", r)
+		}
+		if !g.DeleteEdge(0, 1) || g.HasEdge(0, 1) {
+			t.Fatalf("%v: delete broken", r)
+		}
+	}
+	if Representation(99).String() == "" {
+		t.Fatal("unknown representation string empty")
+	}
+}
+
+func TestBatchedOption(t *testing.T) {
+	g := New(10, WithRepresentation(RepDynArr), Batched())
+	if g.Representation() != "batched(dyn-arr)" {
+		t.Fatalf("rep = %q", g.Representation())
+	}
+	g.ApplyUpdates(2, []Update{
+		{Edge: Edge{U: 0, V: 1, T: 1}, Op: OpInsert},
+		{Edge: Edge{U: 0, V: 2, T: 2}, Op: OpInsert},
+		{Edge: Edge{U: 0, V: 1}, Op: OpDelete},
+	})
+	if g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Fatal("batched updates wrong")
+	}
+}
+
+func TestDirectedVsUndirected(t *testing.T) {
+	d := New(4)
+	d.InsertEdge(0, 1, 0)
+	if d.HasEdge(1, 0) {
+		t.Fatal("directed graph created a mirror arc")
+	}
+	if d.Undirected() {
+		t.Fatal("Undirected() wrong")
+	}
+	u := New(4, Undirected())
+	u.InsertEdge(0, 1, 0)
+	u.InsertEdge(2, 2, 0) // self loop: single arc
+	if u.NumEdges() != 3 {
+		t.Fatalf("arcs = %d, want 3", u.NumEdges())
+	}
+	u.DeleteEdge(0, 1)
+	if u.HasEdge(1, 0) || u.HasEdge(0, 1) {
+		t.Fatal("undirected delete must remove both arcs")
+	}
+}
+
+func TestApplyUpdatesMirrorsForUndirected(t *testing.T) {
+	g := New(6, Undirected())
+	g.ApplyUpdates(2, []Update{{Edge: Edge{U: 3, V: 4, T: 7}, Op: OpInsert}})
+	if !g.HasEdge(4, 3) {
+		t.Fatal("mirror arc missing")
+	}
+}
+
+func TestGenerateAndLoad(t *testing.T) {
+	p := PaperRMAT(10, 8*(1<<10), 50, 99)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(p.NumVertices(), WithExpectedEdges(len(edges)))
+	g.InsertEdges(0, edges)
+	if g.NumEdges() != int64(len(edges)) {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), len(edges))
+	}
+	st := g.Stats()
+	if st.MaxDegree < 40 {
+		t.Fatalf("max degree %d unexpectedly small for R-MAT", st.MaxDegree)
+	}
+}
+
+func TestSnapshotKernels(t *testing.T) {
+	p := PaperRMAT(10, 8*(1<<10), 100, 5)
+	edges, _ := GenerateRMAT(0, p)
+	g := New(p.NumVertices(), WithExpectedEdges(2*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	snap := g.Snapshot(0)
+
+	// BFS from a sampled source.
+	srcs := snap.SampleSources(4, 3)
+	res := snap.BFS(2, srcs[0])
+	if res.Reached < 2 {
+		t.Fatal("BFS reached nothing")
+	}
+	// Temporal BFS reaches no more than full BFS.
+	tres := snap.TemporalBFS(2, srcs[0], 1, 50)
+	if tres.Reached > res.Reached {
+		t.Fatal("temporal BFS reached more than unfiltered")
+	}
+	// st-connectivity agrees with the connectivity index.
+	conn := snap.Connectivity(2)
+	for _, v := range srcs {
+		ok, _ := snap.STConnected(2, srcs[0], v)
+		if ok != conn.Connected(srcs[0], v) {
+			t.Fatalf("BFS and LCT disagree on (%d,%d)", srcs[0], v)
+		}
+	}
+	// Induced subgraph shrinks.
+	sub := snap.InducedByTime(2, 20, 70)
+	if sub.NumEdges() >= snap.NumEdges() {
+		t.Fatal("time filter removed nothing")
+	}
+	if sub.NumVertices() != snap.NumVertices() {
+		t.Fatal("vertex set must be stable")
+	}
+	// Active vertices.
+	act := snap.ActiveVertices(2, 1, 100)
+	anyActive := false
+	for _, a := range act {
+		if a {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		t.Fatal("no active vertices in full window")
+	}
+	// Betweenness (approximate).
+	bc := snap.Betweenness(2, BCOptions{Temporal: true, Sources: srcs})
+	if len(bc) != snap.NumVertices() {
+		t.Fatal("bc length wrong")
+	}
+}
+
+func TestConnectivityDynamicOps(t *testing.T) {
+	c := NewConnectivity(5)
+	if err := c.Link(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Link(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Connected(0, 2) || c.FindRoot(0) != 1 {
+		t.Fatal("link results wrong")
+	}
+	if !c.Cut(0) || c.Connected(0, 2) {
+		t.Fatal("cut results wrong")
+	}
+	qs := []Query{{U: 0, V: 2}, {U: 2, V: 1}}
+	rs := make([]bool, 2)
+	c.ConnectedBatch(2, qs, rs)
+	if rs[0] || !rs[1] {
+		t.Fatal("batch queries wrong")
+	}
+	if c.TreeHeight() != 1 {
+		t.Fatalf("height = %d", c.TreeHeight())
+	}
+}
+
+func TestSanitizeStreamFacade(t *testing.T) {
+	ups := []Update{
+		{Edge: Edge{U: 0, V: 1}, Op: OpInsert},
+		{Edge: Edge{U: 0, V: 200}, Op: OpInsert},
+	}
+	clean, dropped := SanitizeStream(ups, 10, false)
+	if dropped != 1 || len(clean) != 1 {
+		t.Fatal("sanitize wrong")
+	}
+}
+
+func TestStreamHelpersProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		p := PaperRMAT(8, 500, 10, seed)
+		edges, err := GenerateRMAT(2, p)
+		if err != nil {
+			return false
+		}
+		ups := Inserts(edges)
+		ShuffleStream(ups, seed)
+		bs := StreamBatches(ups, 64)
+		total := 0
+		for _, b := range bs {
+			total += len(b)
+		}
+		return total == len(ups)
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeletionsFacade(t *testing.T) {
+	p := PaperRMAT(8, 400, 10, 4)
+	edges, _ := GenerateRMAT(0, p)
+	dels := Deletions(edges, 100, 9)
+	if len(dels) != 100 {
+		t.Fatalf("dels = %d", len(dels))
+	}
+	g := New(p.NumVertices(), WithExpectedEdges(len(edges)))
+	g.InsertEdges(0, edges)
+	before := g.NumEdges()
+	g.ApplyUpdates(0, dels)
+	if g.NumEdges() != before-100 {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), before-100)
+	}
+}
+
+func TestMixedStreamFacade(t *testing.T) {
+	p := PaperRMAT(9, 1000, 10, 6)
+	base, _ := GenerateRMAT(0, p)
+	p2 := p
+	p2.Seed = 7
+	extra, _ := GenerateRMAT(0, p2)
+	ups, err := MixedStream(base, extra, 500, 0.75, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := 0
+	for _, u := range ups {
+		if u.Op == OpInsert {
+			ins++
+		}
+	}
+	if ins != 375 {
+		t.Fatalf("inserts = %d, want 375", ins)
+	}
+}

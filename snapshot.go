@@ -1,0 +1,174 @@
+package snapdyn
+
+import (
+	"snapdyn/internal/cc"
+	"snapdyn/internal/centrality"
+	"snapdyn/internal/csr"
+	"snapdyn/internal/lct"
+	"snapdyn/internal/subgraph"
+	"snapdyn/internal/traversal"
+)
+
+// Snapshot is an immutable CSR view of a graph, the substrate for the
+// analysis kernels. Snapshots are safe for concurrent queries.
+type Snapshot struct {
+	g *csr.Graph
+}
+
+// NumVertices returns the vertex-set size.
+func (s *Snapshot) NumVertices() int { return s.g.N }
+
+// NumEdges returns the number of arcs in the snapshot.
+func (s *Snapshot) NumEdges() int64 { return s.g.NumEdges() }
+
+// OutDegree returns u's out-degree.
+func (s *Snapshot) OutDegree(u VertexID) int64 { return s.g.Degree(u) }
+
+// Neighbors returns read-only views of u's adjacency and time labels.
+func (s *Snapshot) Neighbors(u VertexID) (adj []uint32, ts []uint32) {
+	return s.g.Neighbors(u)
+}
+
+// BFSResult holds a traversal outcome. Level[v] is the hop distance or
+// NotVisited; Parent[v] is the BFS-tree parent.
+type BFSResult = traversal.Result
+
+// NotVisited marks unreached vertices in BFS results.
+const NotVisited = traversal.NotVisited
+
+// BFS runs a parallel level-synchronous breadth-first search from src.
+func (s *Snapshot) BFS(workers int, src VertexID) *BFSResult {
+	return traversal.BFS(workers, s.g, src)
+}
+
+// TemporalBFS runs BFS traversing only arcs with time labels in
+// [lo, hi] — the paper's augmented BFS with a time-stamp check.
+func (s *Snapshot) TemporalBFS(workers int, src VertexID, lo, hi uint32) *BFSResult {
+	return traversal.TemporalBFS(workers, s.g, src, traversal.TimeWindow(lo, hi))
+}
+
+// STConnected answers an st-connectivity query by traversal, returning
+// reachability and hop distance (-1 if unreachable).
+func (s *Snapshot) STConnected(workers int, u, v VertexID) (bool, int32) {
+	return traversal.STConnected(workers, s.g, u, v)
+}
+
+// STConnectedFast answers an st-connectivity query with bidirectional
+// search: on low-diameter graphs it touches far fewer edges than a full
+// BFS. The snapshot must be symmetric (undirected Graph).
+func (s *Snapshot) STConnectedFast(u, v VertexID) (bool, int32) {
+	return traversal.STConnectedBidirectional(s.g, u, v)
+}
+
+// TemporalReachability computes the vertices reachable from src by
+// time-respecting paths (strictly increasing labels, Kempe et al.),
+// returning the minimum arrival label per vertex (^uint32(0) when
+// unreachable) and the reached count.
+func (s *Snapshot) TemporalReachability(src VertexID) (arrive []uint32, reached int) {
+	return traversal.TemporalReachability(s.g, src)
+}
+
+// TemporallyReachable reports whether a time-respecting path u -> v
+// exists.
+func (s *Snapshot) TemporallyReachable(u, v VertexID) bool {
+	return traversal.TemporallyReachable(s.g, u, v)
+}
+
+// Components labels weakly-connected components in parallel:
+// comp[u] == comp[v] iff u and v are connected.
+func (s *Snapshot) Components(workers int) []uint32 {
+	return cc.Components(workers, s.g)
+}
+
+// ComponentCount returns the number of weakly-connected components.
+func (s *Snapshot) ComponentCount(workers int) int {
+	return cc.Count(s.Components(workers))
+}
+
+// Connectivity builds the link-cut forest index over the snapshot: a
+// spanning forest (parallel BFS per component) whose parent-pointer
+// representation answers connectivity queries in O(diameter) hops.
+// The snapshot should be symmetric (built from an undirected Graph).
+func (s *Snapshot) Connectivity(workers int) *Connectivity {
+	return &Connectivity{f: lct.Build(workers, s.g)}
+}
+
+// InducedByTime extracts the subgraph of arcs with time labels strictly
+// inside (lo, hi), keeping the vertex set (the paper's induced subgraph
+// kernel).
+func (s *Snapshot) InducedByTime(workers int, lo, hi uint32) *Snapshot {
+	return &Snapshot{g: subgraph.InducedByEdges(workers, s.g, subgraph.TimeInterval(lo, hi))}
+}
+
+// InducedByVertices extracts the subgraph induced by the kept vertices.
+func (s *Snapshot) InducedByVertices(workers int, keep []bool) *Snapshot {
+	return &Snapshot{g: subgraph.InducedByVertices(workers, s.g, keep)}
+}
+
+// ActiveVertices returns the vertices incident to at least one arc with
+// a time label in [lo, hi].
+func (s *Snapshot) ActiveVertices(workers int, lo, hi uint32) []bool {
+	return subgraph.VerticesInWindow(workers, s.g, lo, hi)
+}
+
+// BCOptions configures betweenness computation.
+type BCOptions struct {
+	// Temporal restricts traversal to temporal (label-increasing)
+	// shortest paths.
+	Temporal bool
+	// Sources, when non-nil, lists traversal roots (approximate
+	// betweenness with extrapolated scores); nil means exact.
+	Sources []VertexID
+}
+
+// Betweenness computes (temporal) betweenness centrality scores.
+func (s *Snapshot) Betweenness(workers int, opt BCOptions) []float64 {
+	return centrality.Betweenness(workers, s.g, centrality.Options{
+		Temporal:  opt.Temporal,
+		Sources:   opt.Sources,
+		Normalize: opt.Sources != nil,
+	})
+}
+
+// SampleSources draws k distinct random traversal roots, preferring
+// non-isolated vertices.
+func (s *Snapshot) SampleSources(k int, seed uint64) []VertexID {
+	return centrality.SampleSources(s.g, k, seed)
+}
+
+// Connectivity is a link-cut forest supporting constant-time structural
+// updates and diameter-bounded connectivity queries. Queries may run
+// concurrently with each other; Link/Cut require external serialization
+// against queries.
+type Connectivity struct {
+	f *lct.Forest
+}
+
+// NewConnectivity returns a forest of n singleton trees.
+func NewConnectivity(n int) *Connectivity { return &Connectivity{f: lct.New(n)} }
+
+// Connected reports whether u and v are in the same tree (two findroot
+// walks).
+func (c *Connectivity) Connected(u, v VertexID) bool { return c.f.Connected(u, v) }
+
+// FindRoot returns the representative of v's tree.
+func (c *Connectivity) FindRoot(v VertexID) VertexID { return c.f.FindRoot(v) }
+
+// Link makes root v a child of w, merging two trees. It fails if v is
+// not a root or the link would create a cycle.
+func (c *Connectivity) Link(v, w VertexID) error { return c.f.Link(v, w) }
+
+// Cut detaches v from its parent, splitting its subtree off.
+func (c *Connectivity) Cut(v VertexID) bool { return c.f.Cut(v) }
+
+// Query is one connectivity query.
+type Query = lct.Query
+
+// ConnectedBatch answers queries in parallel into results.
+func (c *Connectivity) ConnectedBatch(workers int, queries []Query, results []bool) {
+	c.f.ConnectedBatch(workers, queries, results)
+}
+
+// TreeHeight returns the maximum parent-walk length in the forest
+// (diagnostic; O(n·height)).
+func (c *Connectivity) TreeHeight() int { return c.f.Height() }

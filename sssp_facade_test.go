@@ -1,0 +1,71 @@
+package snapdyn
+
+import "testing"
+
+func TestShortestPathsFacade(t *testing.T) {
+	g := New(4, Undirected())
+	g.InsertEdge(0, 1, 5)
+	g.InsertEdge(1, 2, 7)
+	g.InsertEdge(0, 2, 20)
+	snap := g.Snapshot(0)
+	dist := snap.ShortestPaths(0, 0, 0)
+	if dist[0] != 0 || dist[1] != 5 || dist[2] != 12 {
+		t.Fatalf("distances = %v", dist[:3])
+	}
+	if dist[3] != InfDistance {
+		t.Fatalf("unreachable dist = %d", dist[3])
+	}
+}
+
+func TestHopDistancesMatchBFS(t *testing.T) {
+	_, snap := buildSmall(t)
+	src := snap.SampleSources(1, 3)[0]
+	hops := snap.HopDistances(0, src)
+	res := snap.BFS(0, src)
+	for v := range hops {
+		want := int64(res.Level[v])
+		if res.Level[v] == NotVisited {
+			want = InfDistance
+		}
+		if hops[v] != want {
+			t.Fatalf("hops[%d] = %d, BFS level %d", v, hops[v], res.Level[v])
+		}
+	}
+}
+
+func TestTemporalReachabilityFacade(t *testing.T) {
+	g := New(3)
+	g.InsertEdge(0, 1, 10)
+	g.InsertEdge(1, 2, 5) // decreasing: blocks the chain
+	snap := g.Snapshot(0)
+	arrive, reached := snap.TemporalReachability(0)
+	if reached != 2 {
+		t.Fatalf("reached %d, want 2", reached)
+	}
+	if arrive[1] != 10 {
+		t.Fatalf("arrive[1] = %d", arrive[1])
+	}
+	if snap.TemporallyReachable(0, 2) || !snap.TemporallyReachable(0, 1) {
+		t.Fatal("reachability predicates wrong")
+	}
+	// Temporal betweenness of the middle must be 0 in this graph, since
+	// no temporal path crosses it.
+	bc := snap.Betweenness(0, BCOptions{Temporal: true})
+	if bc[1] != 0 {
+		t.Fatalf("bc[1] = %v", bc[1])
+	}
+}
+
+func TestSTConnectedFastMatches(t *testing.T) {
+	_, snap := buildSmall(t)
+	srcs := snap.SampleSources(12, 4)
+	for _, u := range srcs {
+		for _, v := range srcs {
+			wantOK, wantD := snap.STConnected(0, u, v)
+			gotOK, gotD := snap.STConnectedFast(u, v)
+			if wantOK != gotOK || (wantOK && wantD != gotD) {
+				t.Fatalf("(%d,%d): fast (%v,%d) vs bfs (%v,%d)", u, v, gotOK, gotD, wantOK, wantD)
+			}
+		}
+	}
+}

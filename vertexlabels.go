@@ -1,0 +1,78 @@
+package snapdyn
+
+// Vertex time labels, the ξ(v) of the paper's temporal network model:
+// "we can similarly define time labels ξ(v) for vertices v ∈ V,
+// capturing, for instance, the time when the entity was added or
+// removed." Labels are optional per-graph metadata consulted by the
+// vertex-window analysis helpers.
+
+import (
+	"sync/atomic"
+
+	"snapdyn/internal/par"
+)
+
+// VertexLabels stores one time label per vertex, safe for concurrent
+// update (atomic stores/loads).
+type VertexLabels struct {
+	labels []uint32
+}
+
+// NewVertexLabels creates a label table for n vertices, all initialized
+// to 0 (no label).
+func NewVertexLabels(n int) *VertexLabels {
+	return &VertexLabels{labels: make([]uint32, n)}
+}
+
+// Len returns the table size.
+func (l *VertexLabels) Len() int { return len(l.labels) }
+
+// Set assigns ξ(v) = t.
+func (l *VertexLabels) Set(v VertexID, t uint32) {
+	atomic.StoreUint32(&l.labels[v], t)
+}
+
+// Get returns ξ(v).
+func (l *VertexLabels) Get(v VertexID) uint32 {
+	return atomic.LoadUint32(&l.labels[v])
+}
+
+// InWindow returns the keep-mask of vertices with ξ(v) in [lo, hi],
+// computed in parallel.
+func (l *VertexLabels) InWindow(workers int, lo, hi uint32) []bool {
+	keep := make([]bool, len(l.labels))
+	par.ForBlock(workers, len(l.labels), func(blo, bhi int) {
+		for v := blo; v < bhi; v++ {
+			t := atomic.LoadUint32(&l.labels[v])
+			keep[v] = t >= lo && t <= hi
+		}
+	})
+	return keep
+}
+
+// FromEdgeTimes derives vertex labels from a snapshot: ξ(v) is the
+// earliest incident arc label (the entity's first appearance), 0 for
+// isolated vertices. Computed in parallel over sources; for undirected
+// snapshots every edge is seen from both endpoints.
+func FromEdgeTimes(workers int, s *Snapshot) *VertexLabels {
+	l := NewVertexLabels(s.NumVertices())
+	par.ForDynamic(workers, s.NumVertices(), 256, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			_, ts := s.Neighbors(VertexID(u))
+			first := uint32(0)
+			for _, t := range ts {
+				if t != 0 && (first == 0 || t < first) {
+					first = t
+				}
+			}
+			l.labels[u] = first
+		}
+	})
+	return l
+}
+
+// InducedByVertexWindow extracts the subgraph induced by vertices whose
+// label falls in [lo, hi] — the snapshot of entities active in a period.
+func (s *Snapshot) InducedByVertexWindow(workers int, l *VertexLabels, lo, hi uint32) *Snapshot {
+	return s.InducedByVertices(workers, l.InWindow(workers, lo, hi))
+}

@@ -1,0 +1,120 @@
+package snapdyn
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVertexLabelsBasic(t *testing.T) {
+	l := NewVertexLabels(5)
+	if l.Len() != 5 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	l.Set(2, 42)
+	if l.Get(2) != 42 || l.Get(0) != 0 {
+		t.Fatal("get/set wrong")
+	}
+}
+
+func TestVertexLabelsConcurrent(t *testing.T) {
+	l := NewVertexLabels(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v := VertexID(i % 64)
+				l.Set(v, uint32(w+1))
+				l.Get(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for v := VertexID(0); v < 64; v++ {
+		if got := l.Get(v); got < 1 || got > 8 {
+			t.Fatalf("label[%d] = %d", v, got)
+		}
+	}
+}
+
+func TestVertexLabelsWindow(t *testing.T) {
+	l := NewVertexLabels(5)
+	l.Set(0, 10)
+	l.Set(1, 20)
+	l.Set(2, 30)
+	l.Set(3, 40)
+	keep := l.InWindow(2, 15, 35)
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Fatalf("keep[%d] = %v", i, keep[i])
+		}
+	}
+}
+
+func TestFromEdgeTimes(t *testing.T) {
+	g := New(4, Undirected())
+	g.InsertEdge(0, 1, 30)
+	g.InsertEdge(0, 2, 10)
+	g.InsertEdge(1, 2, 20)
+	snap := g.Snapshot(0)
+	l := FromEdgeTimes(0, snap)
+	if l.Get(0) != 10 || l.Get(1) != 20 || l.Get(2) != 10 {
+		t.Fatalf("labels = %d %d %d", l.Get(0), l.Get(1), l.Get(2))
+	}
+	if l.Get(3) != 0 {
+		t.Fatal("isolated vertex should have no label")
+	}
+}
+
+func TestInducedByVertexWindow(t *testing.T) {
+	g := New(4, Undirected())
+	g.InsertEdge(0, 1, 5)
+	g.InsertEdge(1, 2, 6)
+	g.InsertEdge(2, 3, 7)
+	snap := g.Snapshot(0)
+	l := NewVertexLabels(4)
+	l.Set(0, 1)
+	l.Set(1, 2)
+	l.Set(2, 3)
+	l.Set(3, 9)
+	sub := snap.InducedByVertexWindow(0, l, 1, 3)
+	// Vertices 0,1,2 kept: edges {0,1} and {1,2} survive (4 arcs).
+	if sub.NumEdges() != 4 {
+		t.Fatalf("arcs = %d, want 4", sub.NumEdges())
+	}
+	if sub.OutDegree(3) != 0 {
+		t.Fatal("excluded vertex kept arcs")
+	}
+}
+
+func TestClusteringFacade(t *testing.T) {
+	g := New(4, Undirected())
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 2, 2)
+	g.InsertEdge(2, 0, 3)
+	snap := g.Snapshot(0)
+	c := snap.Clustering(0)
+	if c.TotalTriangles != 1 {
+		t.Fatalf("triangles = %d", c.TotalTriangles)
+	}
+}
+
+func TestEstimateDiameter(t *testing.T) {
+	// Path graph: diameter is exact under double sweep.
+	g := New(32, Undirected())
+	for v := VertexID(0); v < 31; v++ {
+		g.InsertEdge(v, v+1, 1)
+	}
+	snap := g.Snapshot(0)
+	if d := snap.EstimateDiameter(0, 4, 1); d != 31 {
+		t.Fatalf("path diameter estimate = %d, want 31", d)
+	}
+	// Small-world graph: estimate must be small but positive.
+	_, rsnap := buildSmall(t)
+	d := rsnap.EstimateDiameter(0, 4, 2)
+	if d < 2 || d > 64 {
+		t.Fatalf("R-MAT diameter estimate = %d out of plausible range", d)
+	}
+}
