@@ -146,6 +146,44 @@ func BenchmarkFig11TemporalBC(b *testing.B) {
 	}
 }
 
+// --- Traversal engines ---------------------------------------------------
+
+// benchmarkBFSEngine measures steady-state BFS over an RMAT scale-16
+// snapshot through the reusable Traverser, so allocs/op reflects the
+// zero-allocation frontier infrastructure rather than arena warm-up.
+func benchmarkBFSEngine(b *testing.B, strategy BFSStrategy) {
+	const scale = 16
+	p := PaperRMAT(scale, 10<<scale, 100, 42)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(p.NumVertices(), WithExpectedEdges(2*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	snap := g.Snapshot(0)
+	src := snap.SampleSources(1, 7)[0]
+	tr := snap.Traverser(BFSOptions{Strategy: strategy})
+	want := tr.BFS(src).Reached
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *BFSResult
+	for i := 0; i < b.N; i++ {
+		res = tr.BFS(src)
+	}
+	b.StopTimer()
+	if res.Reached != want {
+		b.Fatalf("reached %d, want %d", res.Reached, want)
+	}
+	b.ReportMetric(float64(snap.NumEdges())*float64(b.N)/b.Elapsed().Seconds()/1e6, "MTEPS")
+}
+
+// BenchmarkBFSTopDown is the classic push-only baseline.
+func BenchmarkBFSTopDown(b *testing.B) { benchmarkBFSEngine(b, BFSTopDown) }
+
+// BenchmarkBFSDirectionOpt is the direction-optimizing push/pull engine;
+// compare ns/op, allocs/op, and MTEPS against BenchmarkBFSTopDown.
+func BenchmarkBFSDirectionOpt(b *testing.B) { benchmarkBFSEngine(b, BFSDirectionOpt) }
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationDegreeThresh sweeps the hybrid representation's

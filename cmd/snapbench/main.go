@@ -6,6 +6,7 @@
 //	snapbench -fig all -scale 18
 //	snapbench -fig 5 -scale 20 -delfrac 0.075
 //	snapbench -fig 8 -queries 1000000 -workers 1,2,4,8
+//	snapbench -fig 10 -scale 20 -bfs dirop
 //
 // Figures map to the paper as documented in DESIGN.md: 1-6 are the
 // dynamic-representation experiments, 7-8 the link-cut tree, 9 the
@@ -35,15 +36,20 @@ func main() {
 		queries    = flag.Int("queries", 1_000_000, "connectivity queries for figure 8")
 		sources    = flag.Int("sources", 256, "sampled sources for figure 11")
 		delFrac    = flag.Float64("delfrac", 0.075, "fraction of m to delete in figure 5")
+		bfsEngine  = flag.String("bfs", "topdown", "BFS engine for figure 10: topdown or dirop (direction-optimizing)")
 		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
 	)
 	flag.Parse()
 
+	if *bfsEngine != "topdown" && *bfsEngine != "dirop" {
+		fatalf("bad -bfs %q (want topdown or dirop)", *bfsEngine)
+	}
 	cfg := bench.Config{
 		Scale:      *scale,
 		EdgeFactor: *edgeFactor,
 		TimeMax:    uint32(*timeMax),
 		Seed:       *seed,
+		BFSEngine:  *bfsEngine,
 	}
 	if *workers != "" {
 		ws, err := parseInts(*workers)

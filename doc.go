@@ -16,6 +16,13 @@
 //     connectivity queries, parallel level-synchronous (temporal) BFS,
 //     induced subgraph extraction by time interval, parallel connected
 //     components, and (temporal) betweenness centrality.
+//   - A direction-optimizing BFS engine (Snapshot.BFSWith, BFSOptions)
+//     that switches between top-down edge-partitioned push and bottom-up
+//     pull by frontier edge mass (alpha/beta heuristic), and a reusable
+//     Traverser whose steady-state traversals allocate nothing beyond a
+//     constant fan-out overhead. BFSDirectionOpt requires an undirected
+//     snapshot and is several times faster than top-down on low-diameter
+//     small-world graphs.
 //   - The R-MAT generator and update-stream tooling used by the paper's
 //     evaluation, and one benchmark driver per paper figure.
 //

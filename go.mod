@@ -1,0 +1,3 @@
+module snapdyn
+
+go 1.24

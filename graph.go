@@ -213,7 +213,7 @@ func (g *Graph) InsertEdges(workers int, edges []Edge) {
 // Snapshot freezes the current adjacency into an immutable CSR view for
 // the analysis kernels. It must not run concurrently with mutations.
 func (g *Graph) Snapshot(workers int) *Snapshot {
-	return &Snapshot{g: csr.FromStore(workers, g.store)}
+	return &Snapshot{g: csr.FromStore(workers, g.store), undirected: g.undirected}
 }
 
 // Stats returns degree-distribution summary statistics.

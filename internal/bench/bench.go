@@ -41,6 +41,10 @@ type Config struct {
 	TimeMax uint32
 	// Seed for all generators.
 	Seed uint64
+	// BFSEngine selects the traversal engine for the BFS figure:
+	// "topdown" (the default, classic push) or "dirop"
+	// (direction-optimizing push/pull).
+	BFSEngine string
 }
 
 // DefaultConfig returns a laptop-friendly configuration (n = 2^16,
@@ -337,16 +341,26 @@ func Fig10BFS(cfg Config) *timing.Table {
 	edges := cfg.generate()
 	g := csr.FromEdges(0, cfg.n(), edges, true)
 	src := largestComponentVertex(g)
+	strategy, label := traversal.TopDown, "temporal-bfs"
+	switch cfg.BFSEngine {
+	case "", "topdown":
+	case "dirop":
+		strategy, label = traversal.DirectionOpt, "temporal-bfs(dirop)"
+	default:
+		panic(fmt.Sprintf("bench: unknown BFSEngine %q (want topdown or dirop)", cfg.BFSEngine))
+	}
 	t := &timing.Table{
 		Title: "Figure 10: parallel BFS with time-stamp filtering",
-		Note:  cfg.instanceNote() + fmt.Sprintf(" (undirected), source %d", src),
+		Note:  cfg.instanceNote() + fmt.Sprintf(" (undirected), source %d, engine %s", src, label),
 	}
 	filter := traversal.TimeWindow(1, cfg.TimeMax)
+	scratch := traversal.NewScratch()
+	res := &traversal.Result{}
 	for _, w := range cfg.workers() {
-		var res *traversal.Result
-		secs := timing.Time(func() { res = traversal.TemporalBFS(w, g, src, filter) })
+		opt := traversal.Options{Workers: w, Strategy: strategy, Filter: filter}
+		secs := timing.Time(func() { traversal.Run(g, []uint32{src}, opt, scratch, res) })
 		t.Add(timing.Measurement{
-			Label: "temporal-bfs", Param: fmt.Sprintf("reached=%d", res.Reached),
+			Label: label, Param: fmt.Sprintf("reached=%d", res.Reached),
 			Workers: w, Ops: g.NumEdges(), Seconds: secs,
 		})
 	}

@@ -76,6 +76,9 @@ func Components(workers int, g *csr.Graph) []uint32 {
 }
 
 // Count returns the number of distinct components in a label array.
+// Labels are canonical (comp[l] == l for every label l after the
+// hook-and-compress iteration), so counting self-rooted entries is an
+// O(n) time, O(1) space census.
 func Count(comp []uint32) int {
 	c := 0
 	for i, l := range comp {
@@ -86,18 +89,27 @@ func Count(comp []uint32) int {
 	return c
 }
 
-// Largest returns the label and size of the largest component.
+// Largest returns the label and size of the largest component (smallest
+// label on ties). Labels are canonical vertex ids, so sizes accumulate
+// into a dense O(n) slice instead of a map.
 func Largest(comp []uint32) (label uint32, size int) {
-	counts := make(map[uint32]int)
-	for _, l := range comp {
-		counts[l]++
-	}
-	for l, s := range counts {
-		if s > size || (s == size && l < label) {
-			label, size = l, s
+	sizes := Census(comp)
+	for l, s := range sizes {
+		if s > size {
+			label, size = uint32(l), s
 		}
 	}
 	return label, size
+}
+
+// Census returns the size of every component indexed by canonical label;
+// entries for ids that are not labels are zero.
+func Census(comp []uint32) []int {
+	sizes := make([]int, len(comp))
+	for _, l := range comp {
+		sizes[l]++
+	}
+	return sizes
 }
 
 // SameComponent reports whether u and v share a component label.

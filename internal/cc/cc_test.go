@@ -156,6 +156,60 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestCensus(t *testing.T) {
+	g := graphOf(7, true, [2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3}, [2]uint32{5, 6})
+	comp := Components(2, g)
+	sizes := Census(comp)
+	if len(sizes) != 7 {
+		t.Fatalf("census length %d", len(sizes))
+	}
+	if sizes[comp[0]] != 4 || sizes[comp[5]] != 2 || sizes[comp[4]] != 1 {
+		t.Fatalf("census sizes wrong: %v", sizes)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 7 {
+		t.Fatalf("census total %d", total)
+	}
+}
+
+func TestLargestTieBreaksToSmallestLabel(t *testing.T) {
+	// Two components of equal size: {0,1} and {2,3}; label 0 must win.
+	g := graphOf(4, true, [2]uint32{0, 1}, [2]uint32{2, 3})
+	comp := Components(1, g)
+	label, size := Largest(comp)
+	if size != 2 || label != comp[0] {
+		t.Fatalf("largest = (%d,%d), want (%d,2)", label, size, comp[0])
+	}
+}
+
+func TestCountLargestAgreeOnRMAT(t *testing.T) {
+	p := rmat.PaperParams(12, 2*(1<<12), 0, 77)
+	edges, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(4, p.NumVertices(), edges, true)
+	comp := Components(4, g)
+	// Reference census with a map, cross-checking the O(n) versions.
+	counts := map[uint32]int{}
+	for _, l := range comp {
+		counts[l]++
+	}
+	if Count(comp) != len(counts) {
+		t.Fatalf("count %d != map count %d", Count(comp), len(counts))
+	}
+	wantLabel, wantSize := uint32(0), 0
+	for l, s := range counts {
+		if s > wantSize || (s == wantSize && l < wantLabel) {
+			wantLabel, wantSize = l, s
+		}
+	}
+	label, size := Largest(comp)
+	if label != wantLabel || size != wantSize {
+		t.Fatalf("largest = (%d,%d), want (%d,%d)", label, size, wantLabel, wantSize)
+	}
+}
+
 func TestEmpty(t *testing.T) {
 	g := graphOf(0, true)
 	comp := Components(2, g)

@@ -112,6 +112,15 @@ func FromStore(workers int, s storeView) *Graph {
 	return g
 }
 
+// DegreeSum returns the total out-degree of the given vertices, the
+// "edge mass" quantity the direction-optimizing BFS heuristic compares
+// against the unexplored edge count. Runs in parallel for large inputs.
+func (g *Graph) DegreeSum(workers int, vs []uint32) int64 {
+	return par.Reduce(workers, len(vs), int64(0),
+		func(acc int64, i int) int64 { return acc + g.Degree(edge.ID(vs[i])) },
+		func(a, b int64) int64 { return a + b })
+}
+
 // MaxDegree returns the largest out-degree, used by degree-aware kernels.
 func (g *Graph) MaxDegree() int64 {
 	return par.Reduce(0, g.N, int64(0),

@@ -1,0 +1,101 @@
+// Package frontier provides the reusable frontier infrastructure shared
+// by the traversal kernels: an atomic bitset over vertex ids, a hybrid
+// sparse-queue/dense-bitmap frontier that converts between the two
+// representations on demand, and per-worker scratch-buffer pools so a
+// steady-state traversal allocates nothing.
+//
+// The split mirrors the direction-optimizing BFS design (Beamer et al.):
+// the top-down (push) step wants a sparse vertex queue it can
+// edge-partition, while the bottom-up (pull) step wants an O(1)
+// membership test over the current frontier — a bitmap word-ORed
+// atomically so concurrent workers can publish discoveries without
+// locks.
+package frontier
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitmap is a fixed-capacity bitset over vertex ids [0, Len). The atomic
+// operations (TrySet, Get with concurrent setters) use word-granularity
+// atomic OR/load so the structure supports lock-free concurrent
+// publication; Set/Reset are plain writes for single-owner phases.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an empty bitmap over n ids.
+func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{}
+	b.Grow(n)
+	return b
+}
+
+// Len returns the id capacity.
+func (b *Bitmap) Len() int { return b.n }
+
+// Grow resizes the bitmap to cover n ids, reusing the word array when it
+// is already large enough. The bitmap is cleared.
+func (b *Bitmap) Grow(n int) {
+	w := (n + 63) / 64
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+		clear(b.words)
+	}
+	b.n = n
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() { clear(b.words) }
+
+// Get reports whether bit i is set. It is safe against concurrent
+// TrySet publication (plain load: the caller either tolerates racing
+// reads or has a barrier between the set and get phases).
+func (b *Bitmap) Get(i uint32) bool {
+	return b.words[i>>6]&(1<<(i&63)) != 0
+}
+
+// Set sets bit i non-atomically, returning true when the bit was newly
+// set. Single-owner phases (census counting, sequential builds) use this
+// to avoid atomic traffic.
+func (b *Bitmap) Set(i uint32) bool {
+	w, mask := i>>6, uint64(1)<<(i&63)
+	old := b.words[w]
+	b.words[w] = old | mask
+	return old&mask == 0
+}
+
+// TrySet sets bit i with an atomic word-OR and reports whether this call
+// set it (set-once semantics under concurrency: exactly one concurrent
+// TrySet(i) returns true).
+func (b *Bitmap) TrySet(i uint32) bool {
+	w, mask := i>>6, uint64(1)<<(i&63)
+	old := atomic.OrUint64(&b.words[w], mask)
+	return old&mask == 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AppendTo appends the set bit indices to dst in ascending order and
+// returns the extended slice.
+func (b *Bitmap) AppendTo(dst []uint32) []uint32 {
+	for wi, w := range b.words {
+		base := uint32(wi) << 6
+		for w != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,228 @@
+package frontier
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"snapdyn/internal/xrand"
+)
+
+func TestBitmapSetGet(t *testing.T) {
+	b := NewBitmap(200)
+	if b.Len() != 200 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	for _, i := range []uint32{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		if !b.Set(i) {
+			t.Fatalf("Set(%d) not newly set", i)
+		}
+		if b.Set(i) {
+			t.Fatalf("Set(%d) newly set twice", i)
+		}
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("count = %d, want 8", b.Count())
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Get(64) {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestBitmapTrySetOnce(t *testing.T) {
+	// Under heavy concurrency, exactly one TrySet per bit wins.
+	const n = 1 << 12
+	const workers = 8
+	b := NewBitmap(n)
+	var wins int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := uint32(0); i < n; i++ {
+				if b.TrySet(i) {
+					local++
+				}
+			}
+			atomic.AddInt64(&wins, local)
+		}()
+	}
+	wg.Wait()
+	if wins != n {
+		t.Fatalf("wins = %d, want %d", wins, n)
+	}
+	if b.Count() != n {
+		t.Fatalf("count = %d, want %d", b.Count(), n)
+	}
+}
+
+func TestBitmapAppendTo(t *testing.T) {
+	b := NewBitmap(300)
+	want := []uint32{3, 63, 64, 100, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.AppendTo(nil)
+	if len(got) != len(want) {
+		t.Fatalf("extracted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("extracted %v, want %v", got, want)
+		}
+	}
+	// Appends after a prefix.
+	got = b.AppendTo([]uint32{7})
+	if got[0] != 7 || len(got) != len(want)+1 {
+		t.Fatalf("prefix append wrong: %v", got)
+	}
+}
+
+func TestBitmapGrowReuse(t *testing.T) {
+	b := NewBitmap(1000)
+	b.Set(999)
+	b.Grow(500) // shrink reuses and clears
+	if b.Len() != 500 || b.Count() != 0 {
+		t.Fatalf("after shrink: len=%d count=%d", b.Len(), b.Count())
+	}
+	b.Set(499)
+	b.Grow(640)
+	if b.Count() != 0 {
+		t.Fatal("grow did not clear")
+	}
+}
+
+func TestFrontierSparseDenseRoundTrip(t *testing.T) {
+	const n = 1 << 10
+	f := New(n)
+	r := xrand.New(42)
+	seen := map[uint32]bool{}
+	for len(seen) < 300 {
+		v := r.Uint32n(n)
+		if !seen[v] {
+			seen[v] = true
+			f.Append(v)
+		}
+	}
+	if f.Count() != 300 || f.IsDense() {
+		t.Fatalf("count=%d dense=%v", f.Count(), f.IsDense())
+	}
+	bits := f.Bits(4)
+	if !f.IsDense() {
+		t.Fatal("Bits did not switch representation")
+	}
+	if bits.Count() != 300 {
+		t.Fatalf("bitmap count = %d", bits.Count())
+	}
+	for v := range seen {
+		if !bits.Get(v) {
+			t.Fatalf("vertex %d lost in sparse->dense", v)
+		}
+	}
+	// Count is preserved across conversion.
+	if f.Count() != 300 {
+		t.Fatalf("count after conversion = %d", f.Count())
+	}
+	verts := f.Vertices()
+	if f.IsDense() {
+		t.Fatal("Vertices did not switch representation")
+	}
+	if len(verts) != 300 {
+		t.Fatalf("sparse len = %d", len(verts))
+	}
+	if !sort.SliceIsSorted(verts, func(i, j int) bool { return verts[i] < verts[j] }) {
+		t.Fatal("dense->sparse extraction not ascending")
+	}
+	for _, v := range verts {
+		if !seen[v] {
+			t.Fatalf("vertex %d appeared from nowhere", v)
+		}
+	}
+}
+
+func TestFrontierDenseWriter(t *testing.T) {
+	f := New(128)
+	bits := f.DenseWriter()
+	set := 0
+	for i := uint32(0); i < 128; i += 3 {
+		if bits.TrySet(i) {
+			set++
+		}
+	}
+	f.SetCount(set)
+	if !f.IsDense() || f.Count() != set {
+		t.Fatalf("dense=%v count=%d want %d", f.IsDense(), f.Count(), set)
+	}
+	verts := f.Vertices()
+	if len(verts) != set {
+		t.Fatalf("extracted %d, want %d", len(verts), set)
+	}
+}
+
+func TestFrontierResetReuse(t *testing.T) {
+	f := New(256)
+	for run := 0; run < 3; run++ {
+		for i := uint32(0); i < 100; i++ {
+			f.Append(i)
+		}
+		f.Bits(1) // force dense
+		f.Reset()
+		if f.Count() != 0 || f.IsDense() {
+			t.Fatalf("run %d: reset left count=%d dense=%v", run, f.Count(), f.IsDense())
+		}
+		if f.Bits(1).Count() != 0 {
+			t.Fatalf("run %d: stale bits survived reset", run)
+		}
+		f.Reset()
+	}
+}
+
+func TestBucketsDrain(t *testing.T) {
+	b := NewBuckets(3)
+	for w := 0; w < 3; w++ {
+		buf := b.Take(w)
+		for i := 0; i < 5; i++ {
+			buf = append(buf, uint32(w*10+i))
+		}
+		b.Put(w, buf)
+	}
+	f := New(64)
+	if got := b.Drain(f); got != 15 {
+		t.Fatalf("drained %d, want 15", got)
+	}
+	if f.Count() != 15 {
+		t.Fatalf("frontier count %d", f.Count())
+	}
+	// Buckets are emptied but keep capacity; a second drain adds nothing.
+	if got := b.Drain(f); got != 0 {
+		t.Fatalf("second drain moved %d", got)
+	}
+	if b.Take(0) != nil && len(b.Take(0)) != 0 {
+		t.Fatal("bucket not emptied")
+	}
+}
+
+func TestBucketsGrowKeepsBuffers(t *testing.T) {
+	b := NewBuckets(2)
+	buf := b.Take(0)
+	buf = append(buf, 1, 2, 3)
+	b.Put(0, buf)
+	b.Grow(4)
+	if got := b.Take(3); len(got) != 0 {
+		t.Fatalf("new bucket not empty: %v", got)
+	}
+	f := New(8)
+	if b.Drain(f) != 3 {
+		t.Fatal("grow dropped existing buffer")
+	}
+}

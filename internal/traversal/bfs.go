@@ -10,15 +10,19 @@
 // degrees lets each worker claim an equal slice of arcs, so a single
 // high-degree hub cannot serialize a level — the "we process high-degree
 // and low-degree vertices differently" optimization.
+//
+// Two frontier-expansion engines are provided (see Options and Run):
+// the classic top-down push, and a direction-optimizing engine that
+// switches to a bottom-up pull step once the frontier's edge mass
+// dominates the unexplored edges — on low-diameter small-world graphs
+// the pull step skips the vast majority of edge inspections. Passing a
+// reusable Scratch arena and Result makes steady-state traversals
+// allocation-free.
 package traversal
 
 import (
-	"sync/atomic"
-
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
-	"snapdyn/internal/par"
-	"snapdyn/internal/psort"
 )
 
 // NotVisited marks unreached vertices in level and parent arrays.
@@ -37,12 +41,9 @@ type Result struct {
 	Levels int
 }
 
-// EdgeFilter restricts traversal to arcs it accepts. The zero filter
-// (AllEdges) accepts everything; TimeWindow restricts by time label.
+// EdgeFilter restricts traversal to arcs it accepts. A nil filter
+// accepts everything; TimeWindow restricts by time label.
 type EdgeFilter func(t uint32) bool
-
-// AllEdges accepts every arc.
-func AllEdges(uint32) bool { return true }
 
 // TimeWindow returns a filter accepting time labels in [lo, hi].
 func TimeWindow(lo, hi uint32) EdgeFilter {
@@ -51,7 +52,7 @@ func TimeWindow(lo, hi uint32) EdgeFilter {
 
 // BFS runs a parallel level-synchronous BFS from src over all arcs.
 func BFS(workers int, g *csr.Graph, src edge.ID) *Result {
-	return bfs(workers, g, src, nil)
+	return Run(g, []uint32{src}, Options{Workers: workers}, nil, nil)
 }
 
 // TemporalBFS runs BFS traversing only arcs whose time label the filter
@@ -59,10 +60,7 @@ func BFS(workers int, g *csr.Graph, src edge.ID) *Result {
 // which recomputes from scratch using no auxiliary memory beyond the
 // visited map.
 func TemporalBFS(workers int, g *csr.Graph, src edge.ID, filter EdgeFilter) *Result {
-	if filter == nil {
-		filter = AllEdges
-	}
-	return bfs(workers, g, src, filter)
+	return Run(g, []uint32{src}, Options{Workers: workers, Filter: filter}, nil, nil)
 }
 
 // MultiBFS runs a parallel BFS from all sources simultaneously (each at
@@ -70,117 +68,7 @@ func TemporalBFS(workers int, g *csr.Graph, src edge.ID, filter EdgeFilter) *Res
 // sets. Used to build link-cut forests with one traversal regardless of
 // the component count.
 func MultiBFS(workers int, g *csr.Graph, sources []uint32) *Result {
-	return bfsMulti(workers, g, sources, nil)
-}
-
-func bfs(workers int, g *csr.Graph, src edge.ID, filter EdgeFilter) *Result {
-	return bfsMulti(workers, g, []uint32{uint32(src)}, filter)
-}
-
-func bfsMulti(workers int, g *csr.Graph, sources []uint32, filter EdgeFilter) *Result {
-	if workers <= 0 {
-		workers = par.MaxWorkers()
-	}
-	n := g.N
-	res := &Result{
-		Level:  make([]int32, n),
-		Parent: make([]uint32, n),
-	}
-	for i := range res.Level {
-		res.Level[i] = NotVisited
-	}
-	for _, s := range sources {
-		res.Level[s] = 0
-		res.Parent[s] = s
-	}
-	res.Reached = len(sources)
-
-	frontier := append([]uint32(nil), sources...)
-	offsets := make([]int64, 0, 1024)
-	level := int32(0)
-	for len(frontier) > 0 {
-		level++
-		// Degree prefix sum over the frontier for edge-balanced
-		// partitioning.
-		offsets = offsets[:0]
-		for _, u := range frontier {
-			offsets = append(offsets, g.Degree(u))
-		}
-		offsets = append(offsets, 0)
-		totalWork := psort.ExclusiveScan(workers, offsets)
-
-		next := make([][]uint32, workers)
-		if totalWork > 0 {
-			par.ForBlock(workers, int(totalWork), func(lo, hi int) {
-				w := searchWorker(workers, int(totalWork), lo)
-				local := next[w]
-				// Locate the first frontier vertex whose arc range
-				// intersects [lo, hi).
-				vi := searchOffsets(offsets, int64(lo))
-				for pos := int64(lo); pos < int64(hi); {
-					for offsets[vi+1] <= pos {
-						vi++
-					}
-					u := frontier[vi]
-					base := g.Offsets[u] + (pos - offsets[vi])
-					end := g.Offsets[u] + (offsets[vi+1] - offsets[vi])
-					stop := g.Offsets[u] + (int64(hi) - offsets[vi])
-					if stop < end {
-						end = stop
-					}
-					for p := base; p < end; p++ {
-						v := g.Adj[p]
-						if filter != nil && !filter(g.TS[p]) {
-							continue
-						}
-						if atomic.LoadInt32(&res.Level[v]) != NotVisited {
-							continue
-						}
-						if atomic.CompareAndSwapInt32(&res.Level[v], NotVisited, level) {
-							res.Parent[v] = u
-							local = append(local, v)
-						}
-					}
-					pos = end - g.Offsets[u] + offsets[vi]
-				}
-				next[w] = local
-			})
-		}
-		frontier = frontier[:0]
-		for _, l := range next {
-			frontier = append(frontier, l...)
-			res.Reached += len(l)
-		}
-	}
-	res.Levels = int(level)
-	return res
-}
-
-// searchOffsets returns the largest index i with offsets[i] <= pos.
-func searchOffsets(offsets []int64, pos int64) int {
-	lo, hi := 0, len(offsets)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if offsets[mid] <= pos {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return lo
-}
-
-// searchWorker mirrors par.ForBlock's static partitioning.
-func searchWorker(workers, n, lo int) int {
-	q, r := n/workers, n%workers
-	big := r * (q + 1)
-	if lo < big {
-		return lo / (q + 1)
-	}
-	if q == 0 {
-		return workers - 1
-	}
-	return r + (lo-big)/q
+	return Run(g, sources, Options{Workers: workers}, nil, nil)
 }
 
 // STConnected answers an st-connectivity query by BFS from s, stopping

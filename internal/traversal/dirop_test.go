@@ -1,0 +1,219 @@
+package traversal
+
+import (
+	"testing"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+)
+
+// forcePull makes the direction heuristic enter bottom-up at level 1 and
+// never leave it, so tests cover the pull step on any graph shape.
+var forcePull = Options{Strategy: DirectionOpt, Alpha: 1 << 40, Beta: 1 << 40}
+
+func levelsEqual(t *testing.T, name string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: level length %d != %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: level[%d] = %d, want %d", name, v, got[v], want[v])
+		}
+	}
+}
+
+// checkParents verifies the parent array is a valid BFS forest: each
+// reached non-source vertex has a reached parent one level closer that
+// is an actual in-neighbor.
+func checkParents(t *testing.T, g *csr.Graph, res *Result) {
+	t.Helper()
+	for v := range res.Level {
+		if res.Level[v] <= 0 {
+			continue // unreached or source
+		}
+		p := res.Parent[v]
+		if res.Level[p] != res.Level[v]-1 {
+			t.Fatalf("parent level invariant broken at %d: level %d, parent %d at %d",
+				v, res.Level[v], p, res.Level[p])
+		}
+		adj, _ := g.Neighbors(p)
+		ok := false
+		for _, w := range adj {
+			if w == uint32(v) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("parent %d of %d is not adjacent", p, v)
+		}
+	}
+}
+
+func rmatGraph(t testing.TB, scale, edgeFactor int, tmax uint32, seed uint64) *csr.Graph {
+	t.Helper()
+	p := rmat.PaperParams(scale, edgeFactor*(1<<scale), tmax, seed)
+	edges, err := rmat.Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr.FromEdges(0, p.NumVertices(), edges, true)
+}
+
+func TestDirectionOptMatchesTopDownRMAT(t *testing.T) {
+	g := rmatGraph(t, 12, 8, 0, 31)
+	for _, src := range []uint32{0, 7, 512, 4000} {
+		want := Run(g, []uint32{src}, Options{Workers: 4}, nil, nil)
+		for _, workers := range []int{1, 4, 8} {
+			got := Run(g, []uint32{src},
+				Options{Workers: workers, Strategy: DirectionOpt}, nil, nil)
+			levelsEqual(t, "dirop", got.Level, want.Level)
+			if got.Reached != want.Reached || got.Levels != want.Levels {
+				t.Fatalf("src=%d workers=%d: reached/levels %d/%d, want %d/%d",
+					src, workers, got.Reached, got.Levels, want.Reached, want.Levels)
+			}
+			checkParents(t, g, got)
+		}
+	}
+}
+
+func TestForcedBottomUpMatchesTopDown(t *testing.T) {
+	g := rmatGraph(t, 11, 5, 0, 77)
+	for _, workers := range []int{1, 4} {
+		want := BFS(workers, g, 3)
+		opt := forcePull
+		opt.Workers = workers
+		got := Run(g, []uint32{3}, opt, nil, nil)
+		levelsEqual(t, "forced-pull", got.Level, want.Level)
+		if got.Reached != want.Reached || got.Levels != want.Levels {
+			t.Fatalf("reached/levels %d/%d, want %d/%d",
+				got.Reached, got.Levels, want.Reached, want.Levels)
+		}
+		checkParents(t, g, got)
+	}
+}
+
+func TestDirectionOptAdversarialShapes(t *testing.T) {
+	// Star: one pull step discovers every leaf.
+	const n = 3000
+	var star []edge.Edge
+	for v := uint32(1); v < n; v++ {
+		star = append(star, edge.Edge{U: 0, V: v})
+	}
+	// Path: worst case for pull (frontier never gains mass).
+	var path []edge.Edge
+	for v := uint32(0); v < 99; v++ {
+		path = append(path, edge.Edge{U: v, V: v + 1})
+	}
+	// Disconnected pairs plus isolated vertices.
+	discon := []edge.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 5, V: 6}}
+
+	cases := []struct {
+		name  string
+		n     int
+		edges []edge.Edge
+		src   uint32
+	}{
+		{"star-hub", n, star, 0},
+		{"star-leaf", n, star, 17},
+		{"path-head", 100, path, 0},
+		{"path-mid", 100, path, 50},
+		{"disconnected", 8, discon, 0},
+	}
+	for _, tc := range cases {
+		g := csr.FromEdges(0, tc.n, tc.edges, true)
+		want := BFS(4, g, tc.src)
+		for _, opt := range []Options{
+			{Workers: 4, Strategy: DirectionOpt},
+			{Workers: 4, Strategy: forcePull.Strategy, Alpha: forcePull.Alpha, Beta: forcePull.Beta},
+		} {
+			got := Run(g, []uint32{tc.src}, opt, nil, nil)
+			levelsEqual(t, tc.name, got.Level, want.Level)
+			if got.Reached != want.Reached || got.Levels != want.Levels {
+				t.Fatalf("%s: reached/levels %d/%d, want %d/%d",
+					tc.name, got.Reached, got.Levels, want.Reached, want.Levels)
+			}
+			checkParents(t, g, got)
+		}
+	}
+}
+
+func TestDirectionOptMultiSource(t *testing.T) {
+	g := rmatGraph(t, 10, 3, 0, 9)
+	sources := []uint32{0, 100, 200, 999}
+	want := MultiBFS(4, g, sources)
+	got := Run(g, sources, Options{Workers: 4, Strategy: DirectionOpt}, nil, nil)
+	levelsEqual(t, "multi", got.Level, want.Level)
+	if got.Reached != want.Reached {
+		t.Fatalf("reached %d, want %d", got.Reached, want.Reached)
+	}
+}
+
+func TestDirectionOptTemporalFilter(t *testing.T) {
+	g := rmatGraph(t, 11, 6, 50, 13)
+	filter := TimeWindow(10, 30)
+	want := TemporalBFS(4, g, 1, filter)
+	got := Run(g, []uint32{1},
+		Options{Workers: 4, Strategy: DirectionOpt, Filter: filter}, nil, nil)
+	levelsEqual(t, "temporal", got.Level, want.Level)
+	if got.Reached != want.Reached || got.Levels != want.Levels {
+		t.Fatalf("reached/levels %d/%d, want %d/%d",
+			got.Reached, got.Levels, want.Reached, want.Levels)
+	}
+	// And under forced pull.
+	opt := forcePull
+	opt.Filter = filter
+	got = Run(g, []uint32{1}, opt, nil, nil)
+	levelsEqual(t, "temporal-pull", got.Level, want.Level)
+}
+
+func TestScratchAndResultReuse(t *testing.T) {
+	scratch := NewScratch()
+	res := &Result{}
+	// Alternate between two graphs of different sizes so reuse must
+	// handle regrowing and shrinking.
+	big := rmatGraph(t, 11, 8, 0, 5)
+	small := rmatGraph(t, 8, 4, 0, 6)
+	wantBig := Run(big, []uint32{2}, Options{Workers: 4, Strategy: DirectionOpt}, nil, nil)
+	wantSmall := Run(small, []uint32{2}, Options{Workers: 4, Strategy: DirectionOpt}, nil, nil)
+	for i := 0; i < 6; i++ {
+		g, want := big, wantBig
+		if i%2 == 1 {
+			g, want = small, wantSmall
+		}
+		got := Run(g, []uint32{2}, Options{Workers: 4, Strategy: DirectionOpt}, scratch, res)
+		if got != res {
+			t.Fatal("Run did not return the reused result")
+		}
+		levelsEqual(t, "reuse", got.Level, want.Level)
+		if got.Reached != want.Reached || got.Levels != want.Levels {
+			t.Fatalf("iteration %d: reached/levels diverged", i)
+		}
+	}
+}
+
+func TestSteadyStateAllocations(t *testing.T) {
+	scratch := NewScratch()
+	res := &Result{}
+	sources := []uint32{0}
+	opt := Options{Workers: 1, Strategy: DirectionOpt}
+	measure := func(scale int) float64 {
+		g := rmatGraph(t, scale, 8, 0, 21)
+		Run(g, sources, opt, scratch, res) // warm up the arena
+		return testing.AllocsPerRun(10, func() {
+			Run(g, sources, opt, scratch, res)
+		})
+	}
+	// Steady-state allocation count must be a small constant (per-level
+	// closure captures and reduce partials), independent of graph size:
+	// anything O(n) or O(frontier) is a regression.
+	small, large := measure(10), measure(14)
+	if small > 64 || large > 64 {
+		t.Fatalf("steady-state allocs/run = %g (2^10), %g (2^14); want <= 64", small, large)
+	}
+	if large > 2*small+8 {
+		t.Fatalf("allocs grow with graph size: %g (2^10) -> %g (2^14)", small, large)
+	}
+}

@@ -1,0 +1,323 @@
+package traversal
+
+import (
+	"sync/atomic"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/frontier"
+	"snapdyn/internal/par"
+	"snapdyn/internal/psort"
+)
+
+// Strategy selects the frontier-expansion engine.
+type Strategy int
+
+const (
+	// TopDown always pushes from the frontier: the classic
+	// level-synchronous edge-partitioned BFS. Correct on any graph,
+	// directed or not.
+	TopDown Strategy = iota
+	// DirectionOpt switches between top-down push and bottom-up pull by
+	// frontier edge mass (Beamer-style direction-optimizing BFS). The
+	// pull step discovers a vertex by scanning its own adjacency for a
+	// frontier endpoint, so the graph must be symmetric (undirected),
+	// and a filtered traversal additionally needs the mirror arc v->u
+	// to carry the same time label as u->v (the pull step filters on
+	// the reverse arc). Graphs built by csr.FromEdges(undirected=true)
+	// satisfy both; snapshots of treap-backed dynamic stores collapse
+	// parallel-edge labels per direction and only satisfy the
+	// unfiltered requirement.
+	DirectionOpt
+)
+
+// Default direction-switching thresholds (Beamer et al., SC'12).
+const (
+	// DefaultAlpha: switch push->pull when the frontier's outgoing edge
+	// mass exceeds 1/DefaultAlpha of the arcs out of unvisited vertices.
+	DefaultAlpha = 15
+	// DefaultBeta: switch pull->push when the frontier shrinks below
+	// n/DefaultBeta vertices.
+	DefaultBeta = 18
+)
+
+// Options configures a traversal run. The zero value reproduces the
+// classic top-down BFS over all arcs with GOMAXPROCS workers.
+type Options struct {
+	// Workers is the parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Strategy selects top-down or direction-optimizing expansion.
+	Strategy Strategy
+	// Alpha overrides the push->pull edge-mass threshold (<= 0 uses
+	// DefaultAlpha). Larger values switch to bottom-up earlier.
+	Alpha int64
+	// Beta overrides the pull->push frontier-size threshold (<= 0 uses
+	// DefaultBeta). Larger values stay in bottom-up longer.
+	Beta int64
+	// Filter restricts traversal to accepted arcs; nil accepts all.
+	Filter EdgeFilter
+}
+
+// Scratch is the reusable arena for traversals: the two hybrid
+// frontiers, the per-worker discovery buckets, and the degree prefix-sum
+// buffer. A Scratch passed to successive Run calls (together with a
+// reused Result) makes steady-state traversals allocation-free apart
+// from the O(workers) goroutine fan-out. A Scratch must not be shared by
+// concurrent traversals.
+type Scratch struct {
+	cur, next *frontier.Frontier
+	buckets   *frontier.Buckets
+	offsets   []int64
+}
+
+// NewScratch returns an empty arena; buffers are sized on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (s *Scratch) ensure(n, workers int) {
+	if s.cur == nil {
+		s.cur, s.next = frontier.New(n), frontier.New(n)
+		s.buckets = frontier.NewBuckets(workers)
+	} else {
+		s.cur.Grow(n)
+		s.next.Grow(n)
+		s.buckets.Grow(workers)
+	}
+	if cap(s.offsets) < n+1 {
+		s.offsets = make([]int64, 0, n+1)
+	}
+}
+
+// Reset prepares r for a traversal over n vertices, reusing its arrays
+// when they are large enough.
+func (r *Result) Reset(workers, n int) {
+	if cap(r.Level) < n || cap(r.Parent) < n {
+		r.Level = make([]int32, n)
+		r.Parent = make([]uint32, n)
+	} else {
+		r.Level = r.Level[:n]
+		r.Parent = r.Parent[:n]
+	}
+	lvl := r.Level
+	par.ForBlock(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			lvl[i] = NotVisited
+		}
+	})
+	r.Reached = 0
+	r.Levels = 0
+}
+
+// Run executes a multi-source traversal under opt, writing into res
+// (allocated when nil) and drawing buffers from scratch (a temporary
+// arena when nil). Sources must be distinct. It returns res.
+func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Result) *Result {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	alpha, beta := opt.Alpha, opt.Beta
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if beta <= 0 {
+		beta = DefaultBeta
+	}
+	n := g.N
+	if res == nil {
+		res = &Result{}
+	}
+	res.Reset(workers, n)
+	if scratch == nil {
+		scratch = NewScratch()
+	}
+	scratch.ensure(n, workers)
+
+	for _, s := range sources {
+		res.Level[s] = 0
+		res.Parent[s] = s
+	}
+	res.Reached = len(sources)
+
+	cur, next := scratch.cur, scratch.next
+	cur.AppendAll(sources)
+
+	// Direction heuristic state: the current frontier's outgoing edge
+	// mass, and the arcs still leaving unvisited vertices. Maintained
+	// only when the heuristic can use it, so pure top-down runs pay no
+	// degree-sum bookkeeping.
+	needMass := opt.Strategy == DirectionOpt
+	var curEdges, unexplored int64
+	if needMass {
+		curEdges = g.DegreeSum(workers, sources)
+		unexplored = g.NumEdges() - curEdges
+	}
+	pull := false
+
+	level := int32(0)
+	for cur.Count() > 0 {
+		level++
+		if needMass {
+			if pull {
+				if int64(cur.Count()) < int64(n)/beta {
+					pull = false
+				}
+			} else if curEdges > unexplored/alpha {
+				pull = true
+			}
+		}
+		var found int
+		var foundEdges int64
+		if pull {
+			found, foundEdges = bottomUpStep(workers, g, opt.Filter, res, cur, next, level)
+		} else {
+			found, foundEdges = topDownStep(workers, g, opt.Filter, res, scratch, cur, next, level, needMass)
+		}
+		res.Reached += found
+		if needMass {
+			unexplored -= foundEdges
+			curEdges = foundEdges
+		}
+		cur, next = next, cur
+		next.Reset()
+	}
+	res.Levels = int(level)
+	return res
+}
+
+// topDownStep pushes from the frontier along out-arcs, partitioning the
+// level's work by *edges*: a prefix sum over frontier degrees lets each
+// worker claim an equal slice of arcs, so one high-degree hub cannot
+// serialize a level. Discoveries are claimed with a CAS on the level
+// array and collected in per-worker buckets. Returns the number of
+// vertices discovered and, when needMass is set, their total out-degree
+// (the next frontier's edge mass).
+func topDownStep(workers int, g *csr.Graph, filter EdgeFilter, res *Result,
+	s *Scratch, cur, next *frontier.Frontier, level int32, needMass bool) (int, int64) {
+	verts := cur.Vertices()
+	offsets := s.offsets[:0]
+	for _, u := range verts {
+		offsets = append(offsets, g.Degree(u))
+	}
+	offsets = append(offsets, 0)
+	s.offsets = offsets
+	totalWork := psort.ExclusiveScan(workers, offsets)
+	var found, foundEdges int64
+	if totalWork > 0 {
+		par.ForBlock(workers, int(totalWork), func(lo, hi int) {
+			w := searchWorker(workers, int(totalWork), lo)
+			local := s.buckets.Take(w)
+			var edges int64
+			// Locate the first frontier vertex whose arc range
+			// intersects [lo, hi).
+			vi := searchOffsets(offsets, int64(lo))
+			for pos := int64(lo); pos < int64(hi); {
+				for offsets[vi+1] <= pos {
+					vi++
+				}
+				u := verts[vi]
+				base := g.Offsets[u] + (pos - offsets[vi])
+				end := g.Offsets[u] + (offsets[vi+1] - offsets[vi])
+				stop := g.Offsets[u] + (int64(hi) - offsets[vi])
+				if stop < end {
+					end = stop
+				}
+				for p := base; p < end; p++ {
+					v := g.Adj[p]
+					if filter != nil && !filter(g.TS[p]) {
+						continue
+					}
+					if atomic.LoadInt32(&res.Level[v]) != NotVisited {
+						continue
+					}
+					if atomic.CompareAndSwapInt32(&res.Level[v], NotVisited, level) {
+						res.Parent[v] = u
+						local = append(local, v)
+						if needMass {
+							edges += g.Degree(v)
+						}
+					}
+				}
+				pos = end - g.Offsets[u] + offsets[vi]
+			}
+			s.buckets.Put(w, local)
+			atomic.AddInt64(&found, int64(len(local)))
+			if needMass {
+				atomic.AddInt64(&foundEdges, edges)
+			}
+		})
+	}
+	s.buckets.Drain(next)
+	return int(found), foundEdges
+}
+
+// bottomUpChunk is the dynamic-scheduling grain for the pull step.
+const bottomUpChunk = 512
+
+// bottomUpStep pulls: every unvisited vertex scans its own adjacency for
+// a parent already on the frontier and claims itself on the first hit —
+// no CAS needed because each vertex is owned by exactly one worker, and
+// the scan breaks on the first frontier neighbor instead of touching
+// every arc. The produced frontier is published into a bitmap with
+// atomic word-OR. Returns discoveries and their total out-degree.
+func bottomUpStep(workers int, g *csr.Graph, filter EdgeFilter, res *Result,
+	cur, next *frontier.Frontier, level int32) (int, int64) {
+	curBits := cur.Bits(workers)
+	nextBits := next.DenseWriter()
+	var found, foundEdges int64
+	par.ForDynamic(workers, g.N, bottomUpChunk, func(lo, hi int) {
+		var cnt, edges int64
+		for v := lo; v < hi; v++ {
+			if res.Level[v] != NotVisited {
+				continue
+			}
+			alo, ahi := g.Offsets[v], g.Offsets[v+1]
+			for p := alo; p < ahi; p++ {
+				u := g.Adj[p]
+				if !curBits.Get(u) {
+					continue
+				}
+				if filter != nil && !filter(g.TS[p]) {
+					continue
+				}
+				res.Level[v] = level
+				res.Parent[v] = u
+				nextBits.TrySet(uint32(v))
+				cnt++
+				edges += ahi - alo
+				break
+			}
+		}
+		if cnt > 0 {
+			atomic.AddInt64(&found, cnt)
+			atomic.AddInt64(&foundEdges, edges)
+		}
+	})
+	next.SetCount(int(found))
+	return int(found), foundEdges
+}
+
+// searchOffsets returns the largest index i with offsets[i] <= pos.
+func searchOffsets(offsets []int64, pos int64) int {
+	lo, hi := 0, len(offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if offsets[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// searchWorker mirrors par.ForBlock's static partitioning.
+func searchWorker(workers, n, lo int) int {
+	q, r := n/workers, n%workers
+	big := r * (q + 1)
+	if lo < big {
+		return lo / (q + 1)
+	}
+	if q == 0 {
+		return workers - 1
+	}
+	return r + (lo-big)/q
+}

@@ -256,3 +256,50 @@ func TestMixedStreamFacade(t *testing.T) {
 		t.Fatalf("inserts = %d, want 375", ins)
 	}
 }
+
+func TestBFSWithEngines(t *testing.T) {
+	g := New(64, Undirected())
+	for v := VertexID(0); v < 63; v++ {
+		g.InsertEdge(v, v+1, 1)
+	}
+	snap := g.Snapshot(2)
+	td := snap.BFSWith(0, BFSOptions{Strategy: BFSTopDown})
+	do := snap.BFSWith(0, BFSOptions{Strategy: BFSDirectionOpt})
+	for v := range td.Level {
+		if td.Level[v] != do.Level[v] {
+			t.Fatalf("engines disagree at %d: %d vs %d", v, td.Level[v], do.Level[v])
+		}
+	}
+	tr := snap.Traverser(BFSOptions{Strategy: BFSDirectionOpt})
+	r1 := tr.BFS(0)
+	if r1.Reached != td.Reached || r1.Levels != td.Levels {
+		t.Fatalf("traverser reached/levels %d/%d, want %d/%d",
+			r1.Reached, r1.Levels, td.Reached, td.Levels)
+	}
+	if r2 := tr.BFS(0); r2 != r1 {
+		t.Fatal("traverser must reuse its result")
+	}
+}
+
+func TestBFSDirectionOptDirectedFallback(t *testing.T) {
+	// A directed one-way chain: the pull step alone could never discover
+	// it (no mirror arcs), so BFSWith must fall back to top-down and
+	// still reach everything.
+	g := New(32)
+	for v := VertexID(0); v < 31; v++ {
+		g.InsertEdge(v, v+1, 1)
+	}
+	snap := g.Snapshot(2)
+	res := snap.BFSWith(0, BFSOptions{Strategy: BFSDirectionOpt})
+	if res.Reached != 32 {
+		t.Fatalf("directed fallback reached %d, want 32", res.Reached)
+	}
+	for v := 0; v < 32; v++ {
+		if res.Level[v] != int32(v) {
+			t.Fatalf("level[%d] = %d, want %d", v, res.Level[v], v)
+		}
+	}
+	if tres := snap.Traverser(BFSOptions{Strategy: BFSDirectionOpt}).BFS(0); tres.Reached != 32 {
+		t.Fatalf("traverser directed fallback reached %d, want 32", tres.Reached)
+	}
+}

@@ -13,6 +13,9 @@ import (
 // analysis kernels. Snapshots are safe for concurrent queries.
 type Snapshot struct {
 	g *csr.Graph
+	// undirected records whether the source graph maintained mirror
+	// arcs; engines that need symmetry (BFSDirectionOpt) consult it.
+	undirected bool
 }
 
 // NumVertices returns the vertex-set size.
@@ -39,6 +42,109 @@ const NotVisited = traversal.NotVisited
 // BFS runs a parallel level-synchronous breadth-first search from src.
 func (s *Snapshot) BFS(workers int, src VertexID) *BFSResult {
 	return traversal.BFS(workers, s.g, src)
+}
+
+// BFSStrategy selects the frontier-expansion engine for option-driven
+// traversals.
+type BFSStrategy = traversal.Strategy
+
+const (
+	// BFSTopDown always pushes from the frontier; correct on any
+	// snapshot.
+	BFSTopDown = traversal.TopDown
+	// BFSDirectionOpt switches between top-down push and bottom-up pull
+	// by frontier edge mass. Requires an undirected snapshot; on
+	// low-diameter small-world graphs it skips most edge inspections.
+	//
+	// Time-filtered traversals additionally require symmetric time
+	// labels (the pull step inspects the reverse arc's label). Snapshots
+	// of treap-backed stores (including the default hybrid) keep only
+	// the most recent label per direction when parallel edges exist, so
+	// a time-filtered traversal over such a snapshot can differ between
+	// engines; use BFSTopDown there. Unfiltered traversals are safe on
+	// any undirected snapshot.
+	BFSDirectionOpt = traversal.DirectionOpt
+)
+
+// BFSOptions configures option-driven traversals. The zero value is a
+// top-down BFS with GOMAXPROCS workers.
+type BFSOptions struct {
+	// Workers is the parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Strategy selects the engine; BFSDirectionOpt needs an undirected
+	// snapshot.
+	Strategy BFSStrategy
+	// Alpha and Beta override the direction-switching thresholds
+	// (<= 0 uses the defaults, 15 and 18).
+	Alpha, Beta int64
+}
+
+func (o BFSOptions) traversalOptions(filter traversal.EdgeFilter) traversal.Options {
+	return traversal.Options{
+		Workers:  o.Workers,
+		Strategy: o.Strategy,
+		Alpha:    o.Alpha,
+		Beta:     o.Beta,
+		Filter:   filter,
+	}
+}
+
+// demote downgrades BFSDirectionOpt to top-down on directed snapshots,
+// where the pull step would silently miss vertices lacking mirror arcs.
+func (s *Snapshot) demote(opt BFSOptions) BFSOptions {
+	if !s.undirected {
+		opt.Strategy = BFSTopDown
+	}
+	return opt
+}
+
+// BFSWith runs a BFS from src under the given options. On a directed
+// snapshot BFSDirectionOpt falls back to top-down: the pull step
+// requires mirror arcs.
+func (s *Snapshot) BFSWith(src VertexID, opt BFSOptions) *BFSResult {
+	opt = s.demote(opt)
+	return traversal.Run(s.g, []uint32{src}, opt.traversalOptions(nil), nil, nil)
+}
+
+// Traverser runs repeated traversals over one snapshot while reusing
+// all internal buffers and the result arrays: after the first call,
+// steady-state traversals allocate only a constant number of small
+// fan-out objects regardless of graph size. The returned result is
+// overwritten by the next call; a Traverser is not safe for concurrent
+// use (create one per goroutine).
+type Traverser struct {
+	g       *csr.Graph
+	opt     BFSOptions
+	scratch *traversal.Scratch
+	res     traversal.Result
+	src     [1]uint32
+}
+
+// Traverser returns a reusable traversal engine over the snapshot. On a
+// directed snapshot BFSDirectionOpt falls back to top-down: the pull
+// step requires mirror arcs.
+func (s *Snapshot) Traverser(opt BFSOptions) *Traverser {
+	return &Traverser{g: s.g, opt: s.demote(opt), scratch: traversal.NewScratch()}
+}
+
+// BFS traverses from src, reusing the internal scratch and result.
+func (t *Traverser) BFS(src VertexID) *BFSResult {
+	t.src[0] = src
+	return traversal.Run(t.g, t.src[:], t.opt.traversalOptions(nil), t.scratch, &t.res)
+}
+
+// TemporalBFS traverses from src over arcs with time labels in [lo, hi],
+// reusing the internal scratch and result.
+func (t *Traverser) TemporalBFS(src VertexID, lo, hi uint32) *BFSResult {
+	t.src[0] = src
+	return traversal.Run(t.g, t.src[:],
+		t.opt.traversalOptions(traversal.TimeWindow(lo, hi)), t.scratch, &t.res)
+}
+
+// MultiBFS traverses from all sources simultaneously (each at level 0),
+// reusing the internal scratch and result. Sources must be distinct.
+func (t *Traverser) MultiBFS(sources []VertexID) *BFSResult {
+	return traversal.Run(t.g, sources, t.opt.traversalOptions(nil), t.scratch, &t.res)
 }
 
 // TemporalBFS runs BFS traversing only arcs with time labels in
@@ -97,12 +203,18 @@ func (s *Snapshot) Connectivity(workers int) *Connectivity {
 // inside (lo, hi), keeping the vertex set (the paper's induced subgraph
 // kernel).
 func (s *Snapshot) InducedByTime(workers int, lo, hi uint32) *Snapshot {
-	return &Snapshot{g: subgraph.InducedByEdges(workers, s.g, subgraph.TimeInterval(lo, hi))}
+	return &Snapshot{
+		g:          subgraph.InducedByEdges(workers, s.g, subgraph.TimeInterval(lo, hi)),
+		undirected: s.undirected,
+	}
 }
 
 // InducedByVertices extracts the subgraph induced by the kept vertices.
 func (s *Snapshot) InducedByVertices(workers int, keep []bool) *Snapshot {
-	return &Snapshot{g: subgraph.InducedByVertices(workers, s.g, keep)}
+	return &Snapshot{
+		g:          subgraph.InducedByVertices(workers, s.g, keep),
+		undirected: s.undirected,
+	}
 }
 
 // ActiveVertices returns the vertices incident to at least one arc with
