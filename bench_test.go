@@ -184,6 +184,64 @@ func BenchmarkBFSTopDown(b *testing.B) { benchmarkBFSEngine(b, BFSTopDown) }
 // compare ns/op, allocs/op, and MTEPS against BenchmarkBFSTopDown.
 func BenchmarkBFSDirectionOpt(b *testing.B) { benchmarkBFSEngine(b, BFSDirectionOpt) }
 
+// BenchmarkBetweenness measures sampled static betweenness on an R-MAT
+// scale-14 snapshot through the unified visitor engine. The topdown
+// series reproduces the hand-rolled serial Brandes loop this engine
+// replaced (same edge visits, same DAG construction); the dirop series
+// adds the bottom-up pull step per source — compare the two to see the
+// engine's saturated-level savings compound across sources.
+func BenchmarkBetweenness(b *testing.B) {
+	const scale = 14
+	p := PaperRMAT(scale, 10<<scale, 100, 42)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(p.NumVertices(), WithExpectedEdges(2*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	snap := g.Snapshot(0)
+	sources := snap.SampleSources(32, 7)
+	for _, eng := range []struct {
+		name     string
+		strategy BFSStrategy
+	}{{"topdown", BFSTopDown}, {"dirop", BFSDirectionOpt}} {
+		b.Run(eng.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var bc []float64
+			for i := 0; i < b.N; i++ {
+				bc = snap.Betweenness(0, BCOptions{Sources: sources, Strategy: eng.strategy})
+			}
+			_ = bc
+			teps := float64(snap.NumEdges()) * float64(len(sources)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(teps/1e6, "MTEPS")
+		})
+	}
+}
+
+// BenchmarkCloseness measures sampled closeness through the same engine
+// (level-count hooks only). The facade picks the engine itself —
+// direction-optimizing on this undirected snapshot — so there is one
+// series; use `snapbench -fig kernel -kernel closeness -bfs topdown`
+// for the push-only baseline.
+func BenchmarkCloseness(b *testing.B) {
+	const scale = 14
+	p := PaperRMAT(scale, 10<<scale, 100, 42)
+	edges, err := GenerateRMAT(0, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(p.NumVertices(), WithExpectedEdges(2*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	snap := g.Snapshot(0)
+	sources := snap.SampleSources(64, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snap.Closeness(0, sources)
+	}
+	teps := float64(snap.NumEdges()) * float64(len(sources)) * float64(b.N) / b.Elapsed().Seconds()
+	b.ReportMetric(teps/1e6, "MTEPS")
+}
+
 // --- Ablations -----------------------------------------------------------
 
 // BenchmarkAblationDegreeThresh sweeps the hybrid representation's

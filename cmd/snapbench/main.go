@@ -7,11 +7,15 @@
 //	snapbench -fig 5 -scale 20 -delfrac 0.075
 //	snapbench -fig 8 -queries 1000000 -workers 1,2,4,8
 //	snapbench -fig 10 -scale 20 -bfs dirop
+//	snapbench -fig kernel -kernel bc -bfs dirop -scale 14
 //
 // Figures map to the paper as documented in DESIGN.md: 1-6 are the
 // dynamic-representation experiments, 7-8 the link-cut tree, 9 the
 // induced subgraph kernel, 10 temporal BFS, 11 approximate temporal
-// betweenness centrality.
+// betweenness centrality. The extra figure "kernel" sweeps one
+// BFS-shaped kernel (-kernel=bfs|bc|closeness) on the unified visitor
+// engine; the -bfs engine choice applies to every kernel (figures 7, 10,
+// 11, and kernel), not just plain BFS.
 package main
 
 import (
@@ -36,13 +40,17 @@ func main() {
 		queries    = flag.Int("queries", 1_000_000, "connectivity queries for figure 8")
 		sources    = flag.Int("sources", 256, "sampled sources for figure 11")
 		delFrac    = flag.Float64("delfrac", 0.075, "fraction of m to delete in figure 5")
-		bfsEngine  = flag.String("bfs", "topdown", "BFS engine for figure 10: topdown or dirop (direction-optimizing)")
+		bfsEngine  = flag.String("bfs", "topdown", "traversal engine for all BFS-shaped kernels (figures 7, 10, 11, kernel): topdown or dirop (direction-optimizing)")
+		kernel     = flag.String("kernel", "bfs", "kernel for the 'kernel' figure: bfs, bc, or closeness")
 		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
 	)
 	flag.Parse()
 
 	if *bfsEngine != "topdown" && *bfsEngine != "dirop" {
 		fatalf("bad -bfs %q (want topdown or dirop)", *bfsEngine)
+	}
+	if *kernel != "bfs" && *kernel != "bc" && *kernel != "closeness" {
+		fatalf("bad -kernel %q (want bfs, bc, or closeness)", *kernel)
 	}
 	cfg := bench.Config{
 		Scale:      *scale,
@@ -84,6 +92,9 @@ func main() {
 		"9":  func() *timing.Table { return bench.Fig9Subgraph(cfg) },
 		"10": func() *timing.Table { return bench.Fig10BFS(cfg) },
 		"11": func() *timing.Table { return bench.Fig11TemporalBC(cfg, *sources) },
+		"kernel": func() *timing.Table {
+			return bench.KernelSweep(cfg, *kernel, *sources)
+		},
 	}
 
 	var order []string
@@ -93,7 +104,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 1..11 or all)", f)
+				fatalf("unknown figure %q (want 1..11, kernel, or all)", f)
 			}
 			order = append(order, f)
 		}

@@ -12,19 +12,34 @@
 //     structure keyed by a degree threshold (the paper's contribution),
 //     plus vertex/edge partitioning and batched (semi-sorted) update
 //     application.
-//   - Dynamic graph kernels: a parent-pointer link-cut forest for
-//     connectivity queries, parallel level-synchronous (temporal) BFS,
-//     induced subgraph extraction by time interval, parallel connected
-//     components, and (temporal) betweenness centrality.
-//   - A direction-optimizing BFS engine (Snapshot.BFSWith, BFSOptions)
-//     that switches between top-down edge-partitioned push and bottom-up
-//     pull by frontier edge mass (alpha/beta heuristic), and a reusable
-//     Traverser whose steady-state traversals allocate nothing beyond a
-//     constant fan-out overhead. BFSDirectionOpt requires an undirected
-//     snapshot and is several times faster than top-down on low-diameter
-//     small-world graphs.
+//   - One traversal substrate for every BFS-shaped kernel: a
+//     visitor-hook engine (internal/traversal) that switches between
+//     top-down edge-partitioned push and bottom-up pull by frontier edge
+//     mass (alpha/beta heuristic), skips whole 64-vertex words of
+//     finished vertices in the pull step through a visited shadow
+//     bitmap, and exposes per-arc, per-level, and label-correcting
+//     relaxation hooks that compile away to the plain BFS fast path when
+//     unused. Serial steady-state traversals over a reused
+//     Scratch/Result pair allocate nothing at all.
+//   - Dynamic graph kernels, all riding that one engine: a
+//     parent-pointer link-cut forest for connectivity queries (spanning
+//     forests via the multi-source engine), parallel level-synchronous
+//     (temporal) BFS, early-terminating st-connectivity, temporal
+//     reachability (relaxation hooks), induced subgraph extraction by
+//     time interval, parallel connected components with a parallel
+//     census, and the centrality indices — (temporal) betweenness and
+//     stress assemble the Brandes shortest-path DAG through the
+//     engine's arc hooks, closeness needs only its level-count hook —
+//     so the direction-optimizing strategy accelerates centrality
+//     exactly as it does BFS (BCOptions.Strategy, BFSDirectionOpt).
+//   - The facade: Snapshot.BFSWith/BFSOptions and a reusable Traverser
+//     for traversals; BFSDirectionOpt requires an undirected snapshot
+//     (directed snapshots demote to top-down) and is several times
+//     faster than top-down on low-diameter small-world graphs.
 //   - The R-MAT generator and update-stream tooling used by the paper's
-//     evaluation, and one benchmark driver per paper figure.
+//     evaluation, one benchmark driver per paper figure, and a unified
+//     kernel sweep (cmd/snapbench -fig kernel -kernel=bfs|bc|closeness)
+//     whose -bfs engine choice applies to every kernel.
 //
 // # Quick start
 //

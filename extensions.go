@@ -120,9 +120,11 @@ func (d *DynamicConnectivity) ComponentCount() int { return d.x.ComponentCount()
 type ClosenessScores = centrality.ClosenessScores
 
 // Closeness computes closeness centrality for the listed vertices (one
-// traversal each, partitioned among workers).
+// engine traversal each, partitioned among workers). Undirected
+// snapshots traverse with the direction-optimizing engine; directed
+// ones fall back to top-down.
 func (s *Snapshot) Closeness(workers int, sources []VertexID) []ClosenessScores {
-	return centrality.Closeness(workers, s.g, sources)
+	return centrality.Closeness(workers, s.g, sources, s.kernelStrategy(BFSDirectionOpt))
 }
 
 // Stress computes stress centrality (absolute shortest-path counts
@@ -132,6 +134,7 @@ func (s *Snapshot) Stress(workers int, opt BCOptions) []float64 {
 		Temporal:  opt.Temporal,
 		Sources:   opt.Sources,
 		Normalize: opt.Sources != nil,
+		Strategy:  s.kernelStrategy(opt.Strategy),
 	})
 }
 

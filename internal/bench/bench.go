@@ -41,10 +41,31 @@ type Config struct {
 	TimeMax uint32
 	// Seed for all generators.
 	Seed uint64
-	// BFSEngine selects the traversal engine for the BFS figure:
-	// "topdown" (the default, classic push) or "dirop"
-	// (direction-optimizing push/pull).
+	// BFSEngine selects the traversal engine for every BFS-shaped
+	// kernel (the BFS figure, link-cut forest construction, betweenness
+	// and closeness sweeps): "topdown" (the default, classic push) or
+	// "dirop" (direction-optimizing push/pull).
 	BFSEngine string
+}
+
+// strategy maps BFSEngine to the engine strategy shared by all kernels.
+func (c Config) strategy() traversal.Strategy {
+	switch c.BFSEngine {
+	case "", "topdown":
+		return traversal.TopDown
+	case "dirop":
+		return traversal.DirectionOpt
+	default:
+		panic(fmt.Sprintf("bench: unknown BFSEngine %q (want topdown or dirop)", c.BFSEngine))
+	}
+}
+
+// engineLabel tags a measurement series with the engine choice.
+func (c Config) engineLabel(kernel string) string {
+	if c.strategy() == traversal.DirectionOpt {
+		return kernel + "(dirop)"
+	}
+	return kernel
 }
 
 // DefaultConfig returns a laptop-friendly configuration (n = 2^16,
@@ -266,11 +287,12 @@ func Fig7LCTBuild(cfg Config) *timing.Table {
 		Title: "Figure 7: link-cut tree construction",
 		Note:  cfg.instanceNote() + " (undirected)",
 	}
+	strat := cfg.strategy()
 	for _, w := range cfg.workers() {
 		var f *lct.Forest
-		secs := timing.Time(func() { f = lct.Build(w, g) })
+		secs := timing.Time(func() { f = lct.BuildStrategy(w, g, strat) })
 		_ = f
-		t.Add(timing.Measurement{Label: "lct-build", Workers: w, Ops: g.NumEdges(), Seconds: secs})
+		t.Add(timing.Measurement{Label: cfg.engineLabel("lct-build"), Workers: w, Ops: g.NumEdges(), Seconds: secs})
 	}
 	return t
 }
@@ -341,14 +363,7 @@ func Fig10BFS(cfg Config) *timing.Table {
 	edges := cfg.generate()
 	g := csr.FromEdges(0, cfg.n(), edges, true)
 	src := largestComponentVertex(g)
-	strategy, label := traversal.TopDown, "temporal-bfs"
-	switch cfg.BFSEngine {
-	case "", "topdown":
-	case "dirop":
-		strategy, label = traversal.DirectionOpt, "temporal-bfs(dirop)"
-	default:
-		panic(fmt.Sprintf("bench: unknown BFSEngine %q (want topdown or dirop)", cfg.BFSEngine))
-	}
+	strategy, label := cfg.strategy(), cfg.engineLabel("temporal-bfs")
 	t := &timing.Table{
 		Title: "Figure 10: parallel BFS with time-stamp filtering",
 		Note:  cfg.instanceNote() + fmt.Sprintf(" (undirected), source %d, engine %s", src, label),
@@ -383,16 +398,79 @@ func Fig11TemporalBC(cfg Config, numSources int) *timing.Table {
 		Title: "Figure 11: approximate temporal betweenness centrality",
 		Note:  cfgT.instanceNote() + fmt.Sprintf(", %d sampled sources, labels in [1,20]", len(sources)),
 	}
+	strat := cfgT.strategy()
 	for _, w := range cfgT.workers() {
 		secs := timing.Time(func() {
 			centrality.Betweenness(w, g, centrality.Options{
-				Temporal: true, Sources: sources, Normalize: true,
+				Temporal: true, Sources: sources, Normalize: true, Strategy: strat,
 			})
 		})
 		t.Add(timing.Measurement{
-			Label: "temporal-bc", Workers: w,
+			Label: cfgT.engineLabel("temporal-bc"), Workers: w,
 			Ops: int64(len(sources)) * g.NumEdges(), Seconds: secs,
 		})
+	}
+	return t
+}
+
+// KernelSweep is the unified-kernel experiment enabled by the visitor
+// engine: one driver that runs any BFS-shaped kernel — plain BFS ("bfs"),
+// sampled static betweenness ("bc"), or closeness ("closeness") — over
+// the worker sweep, with Config.BFSEngine selecting the traversal
+// strategy for all of them. It demonstrates (and measures) that the one
+// engine serves every kernel; compare a topdown run against a dirop run
+// of the same kernel to see the pull step's effect beyond plain BFS.
+func KernelSweep(cfg Config, kernel string, numSources int) *timing.Table {
+	if numSources <= 0 {
+		numSources = 256
+	}
+	edges := cfg.generate()
+	g := csr.FromEdges(0, cfg.n(), edges, true)
+	strat := cfg.strategy()
+	t := &timing.Table{
+		Title: fmt.Sprintf("Unified kernel sweep: %s", kernel),
+		Note:  cfg.instanceNote() + " (undirected)",
+	}
+	switch kernel {
+	case "bfs":
+		src := largestComponentVertex(g)
+		scratch := traversal.NewScratch()
+		res := &traversal.Result{}
+		t.Note += fmt.Sprintf(", source %d", src)
+		for _, w := range cfg.workers() {
+			opt := traversal.Options{Workers: w, Strategy: strat}
+			secs := timing.Time(func() { traversal.Run(g, []uint32{src}, opt, scratch, res) })
+			t.Add(timing.Measurement{
+				Label: cfg.engineLabel("bfs"), Param: fmt.Sprintf("reached=%d", res.Reached),
+				Workers: w, Ops: g.NumEdges(), Seconds: secs,
+			})
+		}
+	case "bc":
+		sources := centrality.SampleSources(g, numSources, cfg.Seed+11)
+		t.Note += fmt.Sprintf(", %d sampled sources", len(sources))
+		for _, w := range cfg.workers() {
+			secs := timing.Time(func() {
+				centrality.Betweenness(w, g, centrality.Options{
+					Sources: sources, Normalize: true, Strategy: strat,
+				})
+			})
+			t.Add(timing.Measurement{
+				Label: cfg.engineLabel("bc"), Workers: w,
+				Ops: int64(len(sources)) * g.NumEdges(), Seconds: secs,
+			})
+		}
+	case "closeness":
+		sources := centrality.SampleSources(g, numSources, cfg.Seed+12)
+		t.Note += fmt.Sprintf(", %d sampled sources", len(sources))
+		for _, w := range cfg.workers() {
+			secs := timing.Time(func() { centrality.Closeness(w, g, sources, strat) })
+			t.Add(timing.Measurement{
+				Label: cfg.engineLabel("closeness"), Workers: w,
+				Ops: int64(len(sources)) * g.NumEdges(), Seconds: secs,
+			})
+		}
+	default:
+		panic(fmt.Sprintf("bench: unknown kernel %q (want bfs, bc, or closeness)", kernel))
 	}
 	return t
 }

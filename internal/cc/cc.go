@@ -91,24 +91,82 @@ func Count(comp []uint32) int {
 
 // Largest returns the label and size of the largest component (smallest
 // label on ties). Labels are canonical vertex ids, so sizes accumulate
-// into a dense O(n) slice instead of a map.
-func Largest(comp []uint32) (label uint32, size int) {
-	sizes := Census(comp)
-	for l, s := range sizes {
-		if s > size {
-			label, size = uint32(l), s
-		}
+// into a dense O(n) slice instead of a map; the census and the max scan
+// both run in parallel.
+func Largest(workers int, comp []uint32) (label uint32, size int) {
+	sizes := Census(workers, comp)
+	type best struct {
+		label uint32
+		size  int
 	}
-	return label, size
+	b := par.Reduce(workers, len(sizes), best{},
+		func(acc best, i int) best {
+			// Strict > keeps the earliest (smallest) label on ties.
+			if sizes[i] > acc.size {
+				return best{uint32(i), sizes[i]}
+			}
+			return acc
+		},
+		func(a, b best) best {
+			if b.size > a.size {
+				return b
+			}
+			return a
+		})
+	return b.label, b.size
 }
 
+// censusParCutoff is the label-array length below which the parallel
+// census costs more in per-worker count arrays than it saves.
+const censusParCutoff = 1 << 14
+
 // Census returns the size of every component indexed by canonical label;
-// entries for ids that are not labels are zero.
-func Census(comp []uint32) []int {
-	sizes := make([]int, len(comp))
-	for _, l := range comp {
-		sizes[l]++
+// entries for ids that are not labels are zero. Large inputs are counted
+// in parallel: each worker tallies one block of comp into a private
+// dense count array (no atomics, no contention on giant-component
+// labels) and the per-worker counts are reduced label-parallel. The
+// private arrays cost O(workers · n) ints, the usual trade for
+// contention-free counting at snapshot scale.
+func Census(workers int, comp []uint32) []int {
+	n := len(comp)
+	sizes := make([]int, n)
+	if workers <= 0 {
+		workers = par.MaxWorkers()
 	}
+	// Each worker must have at least a cutoff-sized block to amortize
+	// its private count array and the extra reduce pass; this also
+	// bounds the O(workers · n) scratch to n/cutoff arrays.
+	if maxUseful := n / censusParCutoff; workers > maxUseful {
+		workers = maxUseful
+	}
+	if workers <= 1 {
+		for _, l := range comp {
+			sizes[l]++
+		}
+		return sizes
+	}
+	partial := make([][]int, workers)
+	par.Workers(workers, func(id int) {
+		cnt := make([]int, n)
+		// Mirror par.ForBlock's static partitioning of comp.
+		q, r := n/workers, n%workers
+		lo := id*q + min(id, r)
+		hi := lo + q
+		if id < r {
+			hi++
+		}
+		for _, l := range comp[lo:hi] {
+			cnt[l]++
+		}
+		partial[id] = cnt
+	})
+	par.ForBlock(workers, n, func(lo, hi int) {
+		for _, cnt := range partial {
+			for i := lo; i < hi; i++ {
+				sizes[i] += cnt[i]
+			}
+		}
+	})
 	return sizes
 }
 

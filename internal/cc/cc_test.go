@@ -58,7 +58,7 @@ func TestChainAndCycle(t *testing.T) {
 func TestLargest(t *testing.T) {
 	g := graphOf(7, true, [2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3}, [2]uint32{5, 6})
 	comp := Components(1, g)
-	label, size := Largest(comp)
+	label, size := Largest(2, comp)
 	if size != 4 {
 		t.Fatalf("largest size = %d, want 4", size)
 	}
@@ -159,7 +159,7 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 func TestCensus(t *testing.T) {
 	g := graphOf(7, true, [2]uint32{0, 1}, [2]uint32{1, 2}, [2]uint32{2, 3}, [2]uint32{5, 6})
 	comp := Components(2, g)
-	sizes := Census(comp)
+	sizes := Census(2, comp)
 	if len(sizes) != 7 {
 		t.Fatalf("census length %d", len(sizes))
 	}
@@ -179,7 +179,7 @@ func TestLargestTieBreaksToSmallestLabel(t *testing.T) {
 	// Two components of equal size: {0,1} and {2,3}; label 0 must win.
 	g := graphOf(4, true, [2]uint32{0, 1}, [2]uint32{2, 3})
 	comp := Components(1, g)
-	label, size := Largest(comp)
+	label, size := Largest(2, comp)
 	if size != 2 || label != comp[0] {
 		t.Fatalf("largest = (%d,%d), want (%d,2)", label, size, comp[0])
 	}
@@ -204,9 +204,33 @@ func TestCountLargestAgreeOnRMAT(t *testing.T) {
 			wantLabel, wantSize = l, s
 		}
 	}
-	label, size := Largest(comp)
+	label, size := Largest(2, comp)
 	if label != wantLabel || size != wantSize {
 		t.Fatalf("largest = (%d,%d), want (%d,%d)", label, size, wantLabel, wantSize)
+	}
+}
+
+func TestCensusParallelMatchesSerial(t *testing.T) {
+	// Large enough to cross censusParCutoff so the per-worker count +
+	// reduce path is exercised, with a giant component to create the
+	// hot-label contention the parallel path is designed to avoid.
+	p := rmat.PaperParams(15, 4*(1<<15), 0, 9)
+	edges, _ := rmat.Generate(0, p)
+	g := csr.FromEdges(0, p.NumVertices(), edges, true)
+	comp := Components(0, g)
+	serial := Census(1, comp)
+	for _, workers := range []int{2, 4, 8} {
+		got := Census(workers, comp)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: census[%d] = %d, want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+	l1, s1 := Largest(1, comp)
+	l8, s8 := Largest(8, comp)
+	if l1 != l8 || s1 != s8 {
+		t.Fatalf("Largest differs across workers: (%d,%d) vs (%d,%d)", l1, s1, l8, s8)
 	}
 }
 

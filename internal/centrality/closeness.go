@@ -4,6 +4,7 @@ import (
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/par"
+	"snapdyn/internal/traversal"
 )
 
 // ClosenessScores holds the two standard closeness variants for a vertex.
@@ -17,9 +18,12 @@ type ClosenessScores struct {
 }
 
 // Closeness computes closeness centrality for each vertex in sources
-// (one BFS per source, sources partitioned among workers). The result is
-// indexed like sources.
-func Closeness(workers int, g *csr.Graph, sources []edge.ID) []ClosenessScores {
+// (one engine traversal per source, sources partitioned among workers).
+// Closeness needs only per-level reach counts, so it observes the
+// traversal through the engine's level-end hook alone — no per-vertex
+// state, no frontier bookkeeping — and inherits the strategy's pull-step
+// savings on saturated levels. The result is indexed like sources.
+func Closeness(workers int, g *csr.Graph, sources []edge.ID, strategy traversal.Strategy) []ClosenessScores {
 	if workers <= 0 {
 		workers = par.MaxWorkers()
 	}
@@ -31,35 +35,26 @@ func Closeness(workers int, g *csr.Graph, sources []edge.ID) []ClosenessScores {
 		workers = len(sources)
 	}
 	par.Workers(workers, func(id int) {
-		dist := make([]int32, g.N)
-		var frontier, next []uint32
+		scratch := traversal.NewScratch()
+		res := &traversal.Result{}
+		var src [1]uint32
+		var sum int64
+		var harmonic float64
+		var reached int
+		opt := traversal.Options{
+			Workers:  1,
+			Strategy: strategy,
+			Hooks: traversal.Hooks{OnLevelEnd: func(level int32, discovered int) bool {
+				sum += int64(level) * int64(discovered)
+				harmonic += float64(discovered) / float64(level)
+				reached += discovered
+				return true
+			}},
+		}
 		for i := id; i < len(sources); i += workers {
-			s := sources[i]
-			for j := range dist {
-				dist[j] = -1
-			}
-			dist[s] = 0
-			frontier = frontier[:0]
-			frontier = append(frontier, uint32(s))
-			var sum int64
-			var harmonic float64
-			reached := 0
-			for d := int32(1); len(frontier) > 0; d++ {
-				next = next[:0]
-				for _, u := range frontier {
-					adj, _ := g.Neighbors(u)
-					for _, v := range adj {
-						if dist[v] == -1 {
-							dist[v] = d
-							next = append(next, v)
-						}
-					}
-				}
-				sum += int64(d) * int64(len(next))
-				harmonic += float64(len(next)) / float64(d)
-				reached += len(next)
-				frontier, next = next, frontier
-			}
+			sum, harmonic, reached = 0, 0, 0
+			src[0] = uint32(sources[i])
+			traversal.Run(g, src[:], opt, scratch, res)
 			sc := ClosenessScores{Harmonic: harmonic}
 			if sum > 0 {
 				sc.Classic = float64(reached) / float64(sum)

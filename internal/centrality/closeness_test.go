@@ -2,6 +2,7 @@ package centrality
 
 import (
 	"math"
+	"snapdyn/internal/traversal"
 	"testing"
 
 	"snapdyn/internal/edge"
@@ -10,7 +11,7 @@ import (
 func TestClosenessPath(t *testing.T) {
 	// Path 0-1-2-3-4. Distances from 0: 1,2,3,4 -> sum 10, classic 4/10.
 	g := undirected(5, [3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0}, [3]uint32{3, 4, 0})
-	scores := Closeness(2, g, []edge.ID{0, 2})
+	scores := Closeness(2, g, []edge.ID{0, 2}, traversal.TopDown)
 	if !approxEqual(scores[0].Classic, 0.4) {
 		t.Fatalf("classic closeness of end = %v, want 0.4", scores[0].Classic)
 	}
@@ -27,7 +28,7 @@ func TestClosenessPath(t *testing.T) {
 
 func TestClosenessDisconnected(t *testing.T) {
 	g := undirected(4, [3]uint32{0, 1, 0}) // 2 and 3 isolated
-	scores := Closeness(1, g, []edge.ID{0, 2})
+	scores := Closeness(1, g, []edge.ID{0, 2}, traversal.TopDown)
 	if !approxEqual(scores[0].Classic, 1.0) || !approxEqual(scores[0].Harmonic, 1.0) {
 		t.Fatalf("pair closeness = %+v", scores[0])
 	}
@@ -38,7 +39,7 @@ func TestClosenessDisconnected(t *testing.T) {
 
 func TestClosenessEmptySources(t *testing.T) {
 	g := undirected(3, [3]uint32{0, 1, 0})
-	if got := Closeness(2, g, nil); len(got) != 0 {
+	if got := Closeness(2, g, nil, traversal.TopDown); len(got) != 0 {
 		t.Fatal("non-empty result for empty sources")
 	}
 }
@@ -48,7 +49,7 @@ func TestClosenessCenterBeatsPeriphery(t *testing.T) {
 	g := undirected(6,
 		[3]uint32{0, 1, 0}, [3]uint32{0, 2, 0}, [3]uint32{0, 3, 0},
 		[3]uint32{0, 4, 0}, [3]uint32{0, 5, 0})
-	scores := Closeness(2, g, []edge.ID{0, 1})
+	scores := Closeness(2, g, []edge.ID{0, 1}, traversal.TopDown)
 	if scores[0].Classic <= scores[1].Classic {
 		t.Fatalf("hub %v <= leaf %v", scores[0].Classic, scores[1].Classic)
 	}
@@ -59,8 +60,8 @@ func TestClosenessWorkerInvariance(t *testing.T) {
 		[3]uint32{0, 1, 0}, [3]uint32{1, 2, 0}, [3]uint32{2, 3, 0},
 		[3]uint32{3, 4, 0}, [3]uint32{4, 5, 0}, [3]uint32{0, 6, 0})
 	srcs := []edge.ID{0, 1, 2, 3, 4, 5, 6, 7}
-	a := Closeness(1, g, srcs)
-	b := Closeness(4, g, srcs)
+	a := Closeness(1, g, srcs, traversal.TopDown)
+	b := Closeness(4, g, srcs, traversal.TopDown)
 	for i := range a {
 		if math.Abs(a[i].Classic-b[i].Classic) > 1e-12 ||
 			math.Abs(a[i].Harmonic-b[i].Harmonic) > 1e-12 {

@@ -1,0 +1,247 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/traversal"
+)
+
+func rmatUndirected(t testing.TB, scale, edgeFactor int, tmax uint32, seed uint64) *csr.Graph {
+	t.Helper()
+	p := rmat.PaperParams(scale, edgeFactor*(1<<scale), tmax, seed)
+	edgesL, err := rmat.Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr.FromEdges(0, p.NumVertices(), edgesL, true)
+}
+
+// relClose tolerates the float rounding differences that come from the
+// push and pull directions accumulating dependencies in different
+// predecessor orders.
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestBetweennessTopDownVsDirectionOpt(t *testing.T) {
+	g := rmatUndirected(t, 10, 8, 40, 33)
+	for _, temporal := range []bool{false, true} {
+		want := Betweenness(4, g, Options{Temporal: temporal})
+		got := Betweenness(4, g, Options{Temporal: temporal, Strategy: traversal.DirectionOpt})
+		for i := range want {
+			if !relClose(want[i], got[i]) {
+				t.Fatalf("temporal=%v: bc[%d] = %v (dirop) vs %v (topdown)",
+					temporal, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBetweennessForcedPullEquivalence(t *testing.T) {
+	// Exercise the visitor pull step on every level by making the
+	// heuristic enter bottom-up immediately, including the temporal
+	// arc gate on mirror arcs.
+	g := rmatUndirected(t, 9, 6, 25, 51)
+	for _, temporal := range []bool{false, true} {
+		want := Betweenness(2, g, Options{Temporal: temporal})
+		// A per-test state drives the traversal with extreme
+		// thresholds through the public engine options.
+		got := betweennessAlphaBeta(2, g, Options{Temporal: temporal, Strategy: traversal.DirectionOpt})
+		for i := range want {
+			if !relClose(want[i], got[i]) {
+				t.Fatalf("temporal=%v: bc[%d] = %v (pull) vs %v (topdown)", temporal, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// betweennessAlphaBeta recomputes betweenness forcing the pull direction
+// from level 1 (alpha and beta beyond any real mass), using the internal
+// state directly.
+func betweennessAlphaBeta(workers int, g *csr.Graph, opt Options) []float64 {
+	bc := make([]float64, g.N)
+	st := newBrandesState(g.N)
+	for s := 0; s < g.N; s++ {
+		st.traverseForced(g, edge.ID(s), opt)
+		for i := len(st.order) - 1; i >= 0; i-- {
+			w := st.order[i]
+			coeff := (1 + st.delta[w]) / st.sigma[w]
+			for _, v := range st.preds[w] {
+				st.delta[v] += st.sigma[v] * coeff
+			}
+			if w != uint32(s) {
+				bc[w] += st.delta[w]
+			}
+		}
+	}
+	_ = workers
+	return bc
+}
+
+// traverseForced mirrors brandesState.traverse with forced-pull
+// thresholds.
+func (st *brandesState) traverseForced(g *csr.Graph, s edge.ID, opt Options) {
+	for _, v := range st.order {
+		st.sigma[v] = 0
+		st.delta[v] = 0
+		st.preds[v] = st.preds[v][:0]
+	}
+	st.order = st.order[:0]
+	st.temporal = opt.Temporal
+	st.srcID = uint32(s)
+	st.sigma[s] = 1
+	st.arrive[s] = 0
+	st.order = append(st.order, uint32(s))
+	topt := traversal.Options{
+		Workers:  1,
+		Strategy: opt.Strategy,
+		Alpha:    1 << 40,
+		Beta:     1 << 40,
+		Hooks:    traversal.Hooks{OnArc: st.onArc},
+	}
+	if opt.Temporal {
+		topt.Arc = st.gate
+	}
+	st.src[0] = uint32(s)
+	traversal.Run(g, st.src[:], topt, st.scratch, &st.res)
+}
+
+func TestStressTopDownVsDirectionOpt(t *testing.T) {
+	g := rmatUndirected(t, 9, 5, 30, 13)
+	for _, temporal := range []bool{false, true} {
+		want := Stress(4, g, Options{Temporal: temporal})
+		got := Stress(4, g, Options{Temporal: temporal, Strategy: traversal.DirectionOpt})
+		for i := range want {
+			if !relClose(want[i], got[i]) {
+				t.Fatalf("temporal=%v: stress[%d] = %v (dirop) vs %v (topdown)",
+					temporal, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestClosenessTopDownVsDirectionOpt(t *testing.T) {
+	g := rmatUndirected(t, 10, 7, 0, 29)
+	srcs := SampleSources(g, 64, 3)
+	want := Closeness(4, g, srcs, traversal.TopDown)
+	got := Closeness(4, g, srcs, traversal.DirectionOpt)
+	for i := range want {
+		if !relClose(want[i].Classic, got[i].Classic) || !relClose(want[i].Harmonic, got[i].Harmonic) {
+			t.Fatalf("closeness[%d] = %+v (dirop) vs %+v (topdown)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExactVsAllSourcesSampled(t *testing.T) {
+	// Listing every vertex as an explicit "sample" must reproduce the
+	// exact scores bit-for-bit modulo accumulation order: the sampled
+	// path and the exact path share one engine now, so normalization
+	// (len == n means scale 1) is the only difference.
+	g := rmatUndirected(t, 9, 6, 15, 77)
+	for _, temporal := range []bool{false, true} {
+		exact := Betweenness(4, g, Options{Temporal: temporal})
+		all := make([]edge.ID, g.N)
+		for i := range all {
+			all[i] = edge.ID(i)
+		}
+		sampled := Betweenness(4, g, Options{Temporal: temporal, Sources: all, Normalize: true})
+		for i := range exact {
+			if !relClose(exact[i], sampled[i]) {
+				t.Fatalf("temporal=%v: bc[%d] = %v (all-sources sampled) vs %v (exact)",
+					temporal, i, sampled[i], exact[i])
+			}
+		}
+	}
+}
+
+func TestBrandesSteadyStateAllocations(t *testing.T) {
+	// One worker's state, reused across sources, must stop allocating
+	// once its arenas are warm: the engine scratch, the DAG arrays, and
+	// the predecessor lists are all retained between traversals. This
+	// is the regression guard for the hand-rolled Brandes loop's
+	// per-level frontier allocations, which grew with every source.
+	g := rmatUndirected(t, 11, 8, 20, 5)
+	bc := make([]float64, g.N)
+	for _, opt := range []Options{
+		{Strategy: traversal.TopDown},
+		{Strategy: traversal.DirectionOpt},
+		{Strategy: traversal.DirectionOpt, Temporal: true},
+	} {
+		st := newBrandesState(g.N)
+		// Warm the arenas (engine scratch, DAG arrays, predecessor list
+		// capacities) with the measured source; repeats are then truly
+		// steady state.
+		const src = edge.ID(9)
+		st.run(g, src, opt, bc)
+		allocs := testing.AllocsPerRun(10, func() {
+			st.run(g, src, opt, bc)
+		})
+		if allocs > 2 {
+			t.Fatalf("opt=%+v: steady-state Brandes traversal allocates %g objects/run, want ~0",
+				opt, allocs)
+		}
+	}
+}
+
+func TestBetweennessAllocsIndependentOfSourceCount(t *testing.T) {
+	// Whole-call allocation scales with workers (per-worker states and
+	// score vectors), not with the number of sources: four times the
+	// sources must not approach four times the allocations.
+	g := rmatUndirected(t, 10, 8, 0, 6)
+	measure := func(k int) float64 {
+		srcs := SampleSources(g, k, 11)
+		return testing.AllocsPerRun(3, func() {
+			Betweenness(2, g, Options{Sources: srcs, Strategy: traversal.DirectionOpt})
+		})
+	}
+	few, many := measure(16), measure(64)
+	if many > 1.25*few+64 {
+		t.Fatalf("allocations grow with source count: %g (16 sources) -> %g (64 sources)", few, many)
+	}
+}
+
+func TestSampleSourcesDeterministicAndDegreeFiltered(t *testing.T) {
+	// Graph with isolated tail: half the vertices have no arcs.
+	var es [][3]uint32
+	for v := uint32(0); v < 64; v++ {
+		es = append(es, [3]uint32{v, (v + 1) % 64, 0})
+	}
+	g := undirected(128, es...)
+	a := SampleSources(g, 32, 99)
+	b := SampleSources(g, 32, 99)
+	if len(a) != 32 {
+		t.Fatalf("sampled %d sources, want 32", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+		if g.Degree(a[i]) == 0 {
+			t.Fatalf("sampled isolated vertex %d with non-isolated available", a[i])
+		}
+	}
+	// Requesting more than the non-isolated pool fills from isolated
+	// vertices and still returns k distinct sources.
+	c := SampleSources(g, 100, 7)
+	if len(c) != 100 {
+		t.Fatalf("oversized request returned %d sources", len(c))
+	}
+	seen := map[edge.ID]bool{}
+	nonIso := 0
+	for _, s := range c {
+		if seen[s] {
+			t.Fatalf("duplicate source %d", s)
+		}
+		seen[s] = true
+		if g.Degree(s) > 0 {
+			nonIso++
+		}
+	}
+	if nonIso != 64 {
+		t.Fatalf("oversized request kept %d non-isolated sources, want all 64", nonIso)
+	}
+}

@@ -9,7 +9,7 @@ import (
 // paths passing through each vertex (betweenness without the σ_st
 // normalization), one of the classic indices the paper lists alongside
 // closeness and betweenness. The Options semantics match Betweenness:
-// temporal restriction, sampled sources, extrapolation.
+// temporal restriction, sampled sources, extrapolation, engine strategy.
 //
 // The accumulation uses the path-count recurrence
 // P(v) = Σ_{w ∈ succ(v)} (1 + P(w)), so that σ_sv · P(v) counts the
@@ -36,7 +36,7 @@ func Stress(workers int, g *csr.Graph, opt Options) []float64 {
 		sc := make([]float64, g.N)
 		st := newBrandesState(g.N)
 		for i := id; i < len(sources); i += workers {
-			st.runStress(g, sources[i], opt.Temporal, sc)
+			st.runStress(g, sources[i], opt, sc)
 		}
 		partial[id] = sc
 	})
@@ -59,52 +59,11 @@ func Stress(workers int, g *csr.Graph, opt Options) []float64 {
 }
 
 // runStress performs one stress-accumulation traversal from s. It reuses
-// the Brandes BFS phase (identical DAG construction, including the
-// temporal-path restriction) and replaces the dependency accumulation
-// with the path-count recurrence.
-func (st *brandesState) runStress(g *csr.Graph, s uint32, temporal bool, stress []float64) {
-	n := g.N
-	for i := 0; i < n; i++ {
-		st.dist[i] = -1
-		st.sigma[i] = 0
-		st.delta[i] = 0
-		st.preds[i] = st.preds[i][:0]
-	}
-	st.order = st.order[:0]
-	st.dist[s] = 0
-	st.sigma[s] = 1
-	st.arrive[s] = 0
-
-	frontier := []uint32{s}
-	level := int32(0)
-	for len(frontier) > 0 {
-		level++
-		var next []uint32
-		for _, u := range frontier {
-			st.order = append(st.order, u)
-			adj, ts := g.Neighbors(u)
-			for i, v := range adj {
-				if temporal && u != s && ts[i] <= st.arrive[u] {
-					continue
-				}
-				switch {
-				case st.dist[v] == -1:
-					st.dist[v] = level
-					st.arrive[v] = ts[i]
-					st.sigma[v] = st.sigma[u]
-					st.preds[v] = append(st.preds[v], u)
-					next = append(next, v)
-				case st.dist[v] == level:
-					st.sigma[v] += st.sigma[u]
-					st.preds[v] = append(st.preds[v], u)
-					if temporal && ts[i] < st.arrive[v] {
-						st.arrive[v] = ts[i]
-					}
-				}
-			}
-		}
-		frontier = next
-	}
+// the engine-driven Brandes BFS phase (identical DAG construction,
+// including the temporal-path restriction) and replaces the dependency
+// accumulation with the path-count recurrence.
+func (st *brandesState) runStress(g *csr.Graph, s uint32, opt Options, stress []float64) {
+	st.traverse(g, s, opt)
 	// P(v) accumulation in reverse visit order; delta holds P.
 	for i := len(st.order) - 1; i >= 0; i-- {
 		w := st.order[i]

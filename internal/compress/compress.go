@@ -169,21 +169,24 @@ func (g *Graph) ToCSR(workers int) *csr.Graph {
 }
 
 // BFS runs a sequential-decode level-synchronous BFS over the compressed
-// graph, for the memory-vs-time ablation against csr traversal.
+// graph, for the memory-vs-time ablation against csr traversal. It is
+// the one traversal that cannot ride the shared visitor engine: the
+// engine edge-partitions CSR offset arrays, which a gap-compressed
+// adjacency deliberately does not materialize.
 func (g *Graph) BFS(workers int, src edge.ID) (level []int32, reached int) {
 	level = make([]int32, g.N)
 	for i := range level {
 		level[i] = -1
 	}
 	level[src] = 0
-	frontier := []uint32{uint32(src)}
+	cur := []uint32{uint32(src)}
 	reached = 1
-	for l := int32(1); len(frontier) > 0; l++ {
-		locals := make([][]uint32, len(frontier))
-		par.ForDynamic(workers, len(frontier), 64, func(lo, hi int) {
+	for l := int32(1); len(cur) > 0; l++ {
+		locals := make([][]uint32, len(cur))
+		par.ForDynamic(workers, len(cur), 64, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var local []uint32
-				g.Neighbors(frontier[i], func(v edge.ID, _ uint32) bool {
+				g.Neighbors(cur[i], func(v edge.ID, _ uint32) bool {
 					if atomic.LoadInt32(&level[v]) == -1 &&
 						atomic.CompareAndSwapInt32(&level[v], -1, l) {
 						local = append(local, v)
@@ -198,7 +201,7 @@ func (g *Graph) BFS(workers int, src edge.ID) (level []int32, reached int) {
 			next = append(next, loc...)
 		}
 		reached += len(next)
-		frontier = next
+		cur = next
 	}
 	return level, reached
 }

@@ -114,8 +114,17 @@ func FromStore(workers int, s storeView) *Graph {
 
 // DegreeSum returns the total out-degree of the given vertices, the
 // "edge mass" quantity the direction-optimizing BFS heuristic compares
-// against the unexplored edge count. Runs in parallel for large inputs.
+// against the unexplored edge count. Runs in parallel for large inputs;
+// the serial path avoids the reduction closures so single-worker
+// steady-state traversals stay allocation-free.
 func (g *Graph) DegreeSum(workers int, vs []uint32) int64 {
+	if workers == 1 || len(vs) < 4096 {
+		var sum int64
+		for _, v := range vs {
+			sum += g.Degree(edge.ID(v))
+		}
+		return sum
+	}
 	return par.Reduce(workers, len(vs), int64(0),
 		func(acc int64, i int) int64 { return acc + g.Degree(edge.ID(vs[i])) },
 		func(a, b int64) int64 { return a + b })

@@ -78,6 +78,12 @@ func (b *Bitmap) TrySet(i uint32) bool {
 	return old&mask == 0
 }
 
+// Words exposes the backing word array (bit i lives in word i>>6) so
+// traversal inner loops can skip whole 64-vertex spans of set bits with
+// one load. The returned slice is a view: it is invalidated by Grow and
+// must not be resized by the caller.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
 // Count returns the number of set bits.
 func (b *Bitmap) Count() int {
 	c := 0

@@ -87,16 +87,24 @@ func (f *Frontier) Vertices() []uint32 {
 }
 
 // Bits returns the frontier as a bitmap (a view into internal storage),
-// converting from the sparse queue in parallel if needed.
+// converting from the sparse queue in parallel if needed. The serial
+// path avoids the conversion closure so single-worker steady-state
+// traversals stay allocation-free.
 func (f *Frontier) Bits(workers int) *Bitmap {
 	if !f.dense {
 		bits := f.lazyBits()
 		verts := f.verts
-		par.ForBlock(workers, len(verts), func(lo, hi int) {
-			for _, v := range verts[lo:hi] {
-				bits.TrySet(v)
+		if workers == 1 || len(verts) < 1024 {
+			for _, v := range verts {
+				bits.Set(v)
 			}
-		})
+		} else {
+			par.ForBlock(workers, len(verts), func(lo, hi int) {
+				for _, v := range verts[lo:hi] {
+					bits.TrySet(v)
+				}
+			})
+		}
 		f.verts = f.verts[:0]
 		f.dense = true
 	}

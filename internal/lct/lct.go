@@ -156,16 +156,26 @@ func (f *Forest) Height() int {
 // csr.FromEdges with undirected=true); otherwise vertices that are only
 // weakly reachable stay singleton roots.
 func Build(workers int, g *csr.Graph) *Forest {
+	return BuildStrategy(workers, g, traversal.TopDown)
+}
+
+// BuildStrategy is Build with an explicit engine choice for the
+// spanning-forest traversal: the direction-optimizing strategy lets the
+// saturated middle levels of the forest BFS run as bottom-up pull steps,
+// which is where most of the construction time goes on low-diameter
+// graphs. The direction-optimizing strategy requires a symmetric g
+// (which Build already assumes for coverage).
+func BuildStrategy(workers int, g *csr.Graph, strategy traversal.Strategy) *Forest {
 	comp := cc.Components(workers, g)
-	return buildFromComponents(workers, g, comp)
+	return buildFromComponents(workers, g, comp, strategy)
 }
 
 // BuildWithComponents is Build reusing a precomputed component labeling.
 func BuildWithComponents(workers int, g *csr.Graph, comp []uint32) *Forest {
-	return buildFromComponents(workers, g, comp)
+	return buildFromComponents(workers, g, comp, traversal.TopDown)
 }
 
-func buildFromComponents(workers int, g *csr.Graph, comp []uint32) *Forest {
+func buildFromComponents(workers int, g *csr.Graph, comp []uint32, strategy traversal.Strategy) *Forest {
 	f := New(g.N)
 	if g.N == 0 {
 		return f
@@ -178,7 +188,7 @@ func buildFromComponents(workers int, g *csr.Graph, comp []uint32) *Forest {
 			roots = append(roots, uint32(v))
 		}
 	}
-	res := traversal.MultiBFS(workers, g, roots)
+	res := traversal.Run(g, roots, traversal.Options{Workers: workers, Strategy: strategy}, nil, nil)
 	par.ForBlock(workers, g.N, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			if res.Level[u] > 0 { // reached, not a root

@@ -87,6 +87,14 @@ func ForDynamic(workers, n, chunk int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	// The fan-out lives in its own function so its escaping
+	// synchronization state is not heap-allocated on the serial path
+	// (escape analysis is not flow-sensitive): a workers==1 call must
+	// stay allocation-free for steady-state traversal loops.
+	forDynamic(workers, n, chunk, body)
+}
+
+func forDynamic(workers, n, chunk int, body func(lo, hi int)) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -140,6 +148,13 @@ func Reduce[T any](workers, n int, zero T, fold func(acc T, i int) T, combine fu
 		return zero
 	}
 	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		acc := zero
+		for i := 0; i < n; i++ {
+			acc = fold(acc, i)
+		}
+		return combine(zero, acc)
+	}
 	partial := make([]T, workers)
 	ForBlock(workers, n, func(lo, hi int) {
 		// Recover the worker index from the block: blocks are assigned in

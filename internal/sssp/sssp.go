@@ -160,10 +160,10 @@ func DeltaStepping(workers int, g *csr.Graph, src edge.ID, w WeightFunc, delta i
 		var settled []uint32
 		// Light-edge fixpoint within the band.
 		for len(buckets[bi]) > 0 {
-			frontier := dedupeInBand(buckets[bi], dist, int64(bi), delta)
+			band := dedupeInBand(buckets[bi], dist, int64(bi), delta)
 			buckets[bi] = nil
-			settled = append(settled, frontier...)
-			for _, v := range runPhase(frontier, true) {
+			settled = append(settled, band...)
+			for _, v := range runPhase(band, true) {
 				d := atomic.LoadInt64(&dist[v])
 				addToBucket(v, d)
 			}

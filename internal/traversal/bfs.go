@@ -18,11 +18,20 @@
 // the pull step skips the vast majority of edge inspections. Passing a
 // reusable Scratch arena and Result makes steady-state traversals
 // allocation-free.
+//
+// The engine is a visitor-hook substrate (see Hooks): per-arc and
+// per-level callbacks, an endpoint-aware arc filter, and a
+// label-correcting relaxation mode let every BFS-shaped kernel in the
+// repository — Brandes (temporal) betweenness and stress, closeness,
+// spanning-forest construction for the link-cut index, st-connectivity,
+// and temporal reachability — share this one traversal loop instead of
+// hand-rolling its own frontier code.
 package traversal
 
 import (
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
+	"snapdyn/internal/frontier"
 )
 
 // NotVisited marks unreached vertices in level and parent arrays.
@@ -35,6 +44,11 @@ type Result struct {
 	// Parent[v] is the BFS-tree parent, or the vertex itself for the
 	// source, or undefined (check Level) for unreached vertices.
 	Parent []uint32
+	// Visited shadows Level as a bitmap: bit v is set iff Level[v] is
+	// not NotVisited. The bottom-up step uses it to skip whole 64-vertex
+	// words of finished vertices with one load; kernels may read it for
+	// O(1) membership tests after a run.
+	Visited *frontier.Bitmap
 	// Reached counts visited vertices (including the source).
 	Reached int
 	// Levels counts frontier expansions (the BFS tree height + 1).
@@ -72,13 +86,21 @@ func MultiBFS(workers int, g *csr.Graph, sources []uint32) *Result {
 }
 
 // STConnected answers an st-connectivity query by BFS from s, stopping
-// early once t is reached. It returns reachability and the hop distance
-// (-1 when unreachable).
+// early once t is reached: the engine's level-end hook cuts the
+// traversal at the first level that settles t, so the remaining levels'
+// edges are never inspected. It returns reachability and the hop
+// distance (-1 when unreachable).
 func STConnected(workers int, g *csr.Graph, s, t edge.ID) (bool, int32) {
 	if s == t {
 		return true, 0
 	}
-	res := BFS(workers, g, s)
+	res := &Result{}
+	Run(g, []uint32{s}, Options{
+		Workers: workers,
+		Hooks: Hooks{OnLevelEnd: func(int32, int) bool {
+			return res.Level[t] == NotVisited
+		}},
+	}, nil, res)
 	if res.Level[t] == NotVisited {
 		return false, -1
 	}

@@ -198,18 +198,25 @@ func TestSteadyStateAllocations(t *testing.T) {
 	scratch := NewScratch()
 	res := &Result{}
 	sources := []uint32{0}
-	opt := Options{Workers: 1, Strategy: DirectionOpt}
-	measure := func(scale int) float64 {
+	measure := func(scale, workers int) float64 {
 		g := rmatGraph(t, scale, 8, 0, 21)
+		opt := Options{Workers: workers, Strategy: DirectionOpt}
 		Run(g, sources, opt, scratch, res) // warm up the arena
 		return testing.AllocsPerRun(10, func() {
 			Run(g, sources, opt, scratch, res)
 		})
 	}
-	// Steady-state allocation count must be a small constant (per-level
-	// closure captures and reduce partials), independent of graph size:
-	// anything O(n) or O(frontier) is a regression.
-	small, large := measure(10), measure(14)
+	// A serial steady-state traversal must not allocate at all: the
+	// Scratch holds the frontiers, buckets, prefix-sum buffer, and the
+	// executor's closure set, and the serial paths of the par/frontier
+	// helpers avoid escaping state. Anything nonzero is a regression.
+	if allocs := measure(12, 1); allocs > 0 {
+		t.Fatalf("serial steady-state allocs/run = %g, want 0", allocs)
+	}
+	// Parallel runs may allocate the O(workers) goroutine fan-out, but
+	// never anything O(n) or O(frontier): the count must be a small
+	// constant independent of graph size.
+	small, large := measure(10, 4), measure(14, 4)
 	if small > 64 || large > 64 {
 		t.Fatalf("steady-state allocs/run = %g (2^10), %g (2^14); want <= 64", small, large)
 	}

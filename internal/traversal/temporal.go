@@ -12,14 +12,15 @@ import (
 // BFS: an edge is usable only if its label exceeds the label of the edge
 // on which its tail was reached.
 //
-// The traversal maintains, per vertex, the minimum arrival label over
-// all time-respecting paths found so far; a vertex is re-relaxed when a
-// path with a smaller arrival label appears, since that admits more
+// It is a thin wrapper over the traversal engine's relaxation mode: the
+// Relax hook maintains, per vertex, the minimum arrival label over all
+// time-respecting paths found so far, and re-enqueues a vertex whenever
+// a path with a smaller arrival label appears, since that admits more
 // continuations. Termination: arrival labels strictly decrease per
 // vertex on re-insertion, and labels are bounded below.
 //
-// Returns the arrival label per vertex (0 for src, edge.NoTime-marked
-// impossible for unreachable) and the reached count.
+// Returns the arrival label per vertex (0 for src, ^uint32(0) for
+// unreachable) and the reached count.
 func TemporalReachability(g *csr.Graph, src edge.ID) (arrive []uint32, reached int) {
 	const unreached = ^uint32(0)
 	arrive = make([]uint32, g.N)
@@ -27,37 +28,24 @@ func TemporalReachability(g *csr.Graph, src edge.ID) (arrive []uint32, reached i
 		arrive[i] = unreached
 	}
 	arrive[src] = 0
-	queue := []uint32{uint32(src)}
-	inQueue := make([]bool, g.N)
-	inQueue[src] = true
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		inQueue[u] = false
-		au := arrive[u]
-		adj, ts := g.Neighbors(u)
-		for i, v := range adj {
-			t := ts[i]
+	res := Run(g, []uint32{src}, Options{
+		// One worker keeps the relaxation deterministic and lets the
+		// hook update arrive without atomics.
+		Workers: 1,
+		Hooks: Hooks{Relax: func(u, v uint32, t uint32) bool {
 			// First hop from the source is unconstrained; afterwards
 			// labels must strictly increase.
-			if u != uint32(src) && t <= au {
-				continue
+			if u != src && t <= arrive[u] {
+				return false
 			}
 			if t < arrive[v] {
 				arrive[v] = t
-				if !inQueue[v] {
-					inQueue[v] = true
-					queue = append(queue, v)
-				}
+				return true
 			}
-		}
-	}
-	for _, a := range arrive {
-		if a != unreached {
-			reached++
-		}
-	}
-	return arrive, reached
+			return false
+		}},
+	}, nil, nil)
+	return arrive, res.Reached
 }
 
 // TemporallyReachable reports whether a time-respecting path exists from

@@ -92,9 +92,7 @@ func (o BFSOptions) traversalOptions(filter traversal.EdgeFilter) traversal.Opti
 // demote downgrades BFSDirectionOpt to top-down on directed snapshots,
 // where the pull step would silently miss vertices lacking mirror arcs.
 func (s *Snapshot) demote(opt BFSOptions) BFSOptions {
-	if !s.undirected {
-		opt.Strategy = BFSTopDown
-	}
+	opt.Strategy = s.kernelStrategy(opt.Strategy)
 	return opt
 }
 
@@ -191,12 +189,33 @@ func (s *Snapshot) ComponentCount(workers int) int {
 	return cc.Count(s.Components(workers))
 }
 
+// LargestComponent returns a representative vertex of the largest
+// weakly-connected component and its size (the smallest representative
+// on ties). Labeling, census, and the max scan all run in parallel.
+func (s *Snapshot) LargestComponent(workers int) (rep VertexID, size int) {
+	return cc.Largest(workers, s.Components(workers))
+}
+
 // Connectivity builds the link-cut forest index over the snapshot: a
 // spanning forest (parallel BFS per component) whose parent-pointer
 // representation answers connectivity queries in O(diameter) hops.
-// The snapshot should be symmetric (built from an undirected Graph).
+// The snapshot should be symmetric (built from an undirected Graph);
+// undirected snapshots build the forest with the direction-optimizing
+// engine, directed ones fall back to top-down.
 func (s *Snapshot) Connectivity(workers int) *Connectivity {
-	return &Connectivity{f: lct.Build(workers, s.g)}
+	return &Connectivity{f: lct.BuildStrategy(workers, s.g, s.kernelStrategy(BFSDirectionOpt))}
+}
+
+// kernelStrategy demotes a requested engine to top-down on directed
+// snapshots, where the bottom-up pull step would silently miss vertices
+// lacking mirror arcs. The analysis kernels (connectivity forest,
+// betweenness, closeness, stress) route their engine choice through
+// here, so they inherit exactly the BFS facade's safety rule.
+func (s *Snapshot) kernelStrategy(want BFSStrategy) BFSStrategy {
+	if !s.undirected {
+		return BFSTopDown
+	}
+	return want
 }
 
 // InducedByTime extracts the subgraph of arcs with time labels strictly
@@ -223,7 +242,7 @@ func (s *Snapshot) ActiveVertices(workers int, lo, hi uint32) []bool {
 	return subgraph.VerticesInWindow(workers, s.g, lo, hi)
 }
 
-// BCOptions configures betweenness computation.
+// BCOptions configures betweenness (and stress) computation.
 type BCOptions struct {
 	// Temporal restricts traversal to temporal (label-increasing)
 	// shortest paths.
@@ -231,6 +250,13 @@ type BCOptions struct {
 	// Sources, when non-nil, lists traversal roots (approximate
 	// betweenness with extrapolated scores); nil means exact.
 	Sources []VertexID
+	// Strategy selects the per-source traversal engine; the zero value
+	// is top-down. BFSDirectionOpt needs an undirected snapshot (it is
+	// demoted to top-down otherwise) and, combined with Temporal,
+	// symmetric time labels — snapshots of treap-backed stores collapse
+	// parallel-edge labels per direction, so use BFSTopDown for
+	// temporal scores there (the same caveat as BFSOptions).
+	Strategy BFSStrategy
 }
 
 // Betweenness computes (temporal) betweenness centrality scores.
@@ -239,6 +265,7 @@ func (s *Snapshot) Betweenness(workers int, opt BCOptions) []float64 {
 		Temporal:  opt.Temporal,
 		Sources:   opt.Sources,
 		Normalize: opt.Sources != nil,
+		Strategy:  s.kernelStrategy(opt.Strategy),
 	})
 }
 
