@@ -8,14 +8,18 @@
 //	snapbench -fig 8 -queries 1000000 -workers 1,2,4,8
 //	snapbench -fig 10 -scale 20 -bfs dirop
 //	snapbench -fig kernel -kernel bc -bfs dirop -scale 14
+//	snapbench -fig kernel -kernel sssp -scale 16 -deltas 0,25,100
 //
 // Figures map to the paper as documented in DESIGN.md: 1-6 are the
 // dynamic-representation experiments, 7-8 the link-cut tree, 9 the
 // induced subgraph kernel, 10 temporal BFS, 11 approximate temporal
 // betweenness centrality. The extra figure "kernel" sweeps one
 // BFS-shaped kernel (-kernel=bfs|bc|closeness) on the unified visitor
-// engine; the -bfs engine choice applies to every kernel (figures 7, 10,
-// 11, and kernel), not just plain BFS.
+// engine, or the weighted delta-stepping kernel (-kernel=sssp, time
+// labels as arc weights, one series per -deltas bucket width with 0
+// meaning the average-weight heuristic, plus a sequential Dijkstra
+// baseline series); the -bfs engine choice applies to every BFS-shaped
+// kernel (figures 7, 10, 11, and kernel), not just plain BFS.
 package main
 
 import (
@@ -41,7 +45,8 @@ func main() {
 		sources    = flag.Int("sources", 256, "sampled sources for figure 11")
 		delFrac    = flag.Float64("delfrac", 0.075, "fraction of m to delete in figure 5")
 		bfsEngine  = flag.String("bfs", "topdown", "traversal engine for all BFS-shaped kernels (figures 7, 10, 11, kernel): topdown or dirop (direction-optimizing)")
-		kernel     = flag.String("kernel", "bfs", "kernel for the 'kernel' figure: bfs, bc, or closeness")
+		kernel     = flag.String("kernel", "bfs", "kernel for the 'kernel' figure: bfs, bc, closeness, or sssp")
+		deltas     = flag.String("deltas", "", "comma-separated delta-stepping bucket widths to sweep for -kernel=sssp (0 = average-weight heuristic; default just the heuristic)")
 		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
 	)
 	flag.Parse()
@@ -49,8 +54,10 @@ func main() {
 	if *bfsEngine != "topdown" && *bfsEngine != "dirop" {
 		fatalf("bad -bfs %q (want topdown or dirop)", *bfsEngine)
 	}
-	if *kernel != "bfs" && *kernel != "bc" && *kernel != "closeness" {
-		fatalf("bad -kernel %q (want bfs, bc, or closeness)", *kernel)
+	switch *kernel {
+	case "bfs", "bc", "closeness", "sssp":
+	default:
+		fatalf("bad -kernel %q (want bfs, bc, closeness, or sssp)", *kernel)
 	}
 	cfg := bench.Config{
 		Scale:      *scale,
@@ -65,6 +72,13 @@ func main() {
 			fatalf("bad -workers: %v", err)
 		}
 		cfg.Workers = ws
+	}
+	if *deltas != "" {
+		ds, err := parseInt64s(*deltas)
+		if err != nil {
+			fatalf("bad -deltas: %v", err)
+		}
+		cfg.Deltas = ds
 	}
 
 	fig1Scales := []int{}
@@ -125,6 +139,21 @@ func parseInts(s string) ([]int, error) {
 		}
 		if v <= 0 {
 			return nil, fmt.Errorf("non-positive value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative value %d", v)
 		}
 		out = append(out, v)
 	}

@@ -32,14 +32,32 @@
 //     engine's arc hooks, closeness needs only its level-count hook —
 //     so the direction-optimizing strategy accelerates centrality
 //     exactly as it does BFS (BCOptions.Strategy, BFSDirectionOpt).
+//   - Weighted single-source shortest paths (the paper's hardest
+//     future-work kernel): parallel delta-stepping over a
+//     weight-materialized CSR view (internal/wcsr) that computes and
+//     validates each arc weight once and pre-partitions every adjacency
+//     into a light prefix and heavy suffix, so each relaxation phase
+//     scans only its own arcs. Snapshot.SSSPWith with a warm
+//     SSSPScratch reuses the view, the cyclic bucket ring, the dedup
+//     bitmaps, and the per-worker outputs — steady-state repeated SSSP
+//     allocates nothing and runs ~2.4x faster than the previous
+//     map-deduped loop (and ~matches sequential Dijkstra per-edge at
+//     one worker, scaling with workers from there). Dijkstra with a
+//     typed binary heap (no interface boxing) remains the validation
+//     baseline (Snapshot.ShortestPathsDijkstra).
 //   - The facade: Snapshot.BFSWith/BFSOptions and a reusable Traverser
 //     for traversals; BFSDirectionOpt requires an undirected snapshot
 //     (directed snapshots demote to top-down) and is several times
-//     faster than top-down on low-diameter small-world graphs.
+//     faster than top-down on low-diameter small-world graphs. When
+//     BFSOptions leaves Alpha/Beta unset, the engine derives the
+//     direction-switching thresholds from the snapshot's degree skew
+//     (heavier tails enter pull later and stay longer).
 //   - The R-MAT generator and update-stream tooling used by the paper's
 //     evaluation, one benchmark driver per paper figure, and a unified
-//     kernel sweep (cmd/snapbench -fig kernel -kernel=bfs|bc|closeness)
-//     whose -bfs engine choice applies to every kernel.
+//     kernel sweep (cmd/snapbench -fig kernel
+//     -kernel=bfs|bc|closeness|sssp) whose -bfs engine choice applies
+//     to every BFS-shaped kernel and whose -deltas flag sweeps the
+//     delta-stepping bucket width.
 //
 // # Quick start
 //

@@ -143,18 +143,70 @@ func (s *Snapshot) Stress(workers int, opt BCOptions) []float64 {
 // InfDistance marks unreachable vertices in ShortestPaths results.
 const InfDistance = sssp.Inf
 
+// SSSPScratch is the reusable arena for repeated shortest-path runs over
+// one snapshot: it caches the weight-materialized, light/heavy-
+// partitioned view of the graph and every kernel buffer, so steady-state
+// SSSPWith calls allocate nothing. A scratch must not be shared by
+// concurrent runs; the distance slice returned by a run using it is
+// overwritten by the next.
+type SSSPScratch = sssp.Scratch
+
+// NewSSSPScratch returns an empty arena; buffers are sized on first use.
+func NewSSSPScratch() *SSSPScratch { return sssp.NewScratch() }
+
+// SSSPOptions configures a shortest-paths run. The zero value is a
+// GOMAXPROCS-wide delta-stepping run with the heuristic bucket width and
+// a throwaway scratch.
+type SSSPOptions struct {
+	// Workers is the parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Delta is the bucket width; <= 0 picks the heuristic (average arc
+	// weight). Light arcs (weight <= Delta) are relaxed to a fixpoint
+	// within each distance band, heavy arcs once per settled vertex.
+	Delta int64
+	// Scratch, when non-nil, is reused across calls (see SSSPScratch).
+	Scratch *SSSPScratch
+}
+
+// SSSPWith computes single-source shortest path distances under opt,
+// treating each arc's time label as its non-negative weight (label 0 =
+// free arc), using parallel delta-stepping over a light/heavy
+// pre-partitioned weighted view. The result matches Dijkstra exactly;
+// unreachable vertices hold InfDistance.
+func (s *Snapshot) SSSPWith(src VertexID, opt SSSPOptions) []int64 {
+	return sssp.Run(s.g, src, sssp.Options{
+		Workers: opt.Workers,
+		Delta:   opt.Delta,
+		Scratch: opt.Scratch,
+	})
+}
+
 // ShortestPaths computes single-source shortest path distances treating
 // each arc's time label as its non-negative weight (label 0 = free arc),
 // using parallel delta-stepping. delta <= 0 picks a heuristic bucket
-// width; the result matches Dijkstra exactly.
+// width; the result matches Dijkstra exactly. It is SSSPWith with a
+// throwaway scratch, so every call pays the O(m) weighted-view build
+// (materialized weights + light/heavy partition) before relaxing; for
+// repeated sources over one snapshot use SSSPWith with a warm scratch,
+// which builds the view once and thereafter allocates nothing.
 func (s *Snapshot) ShortestPaths(workers int, src VertexID, delta int64) []int64 {
-	return sssp.DeltaStepping(workers, s.g, src, sssp.LabelWeights, delta)
+	return s.SSSPWith(src, SSSPOptions{Workers: workers, Delta: delta})
+}
+
+// ShortestPathsDijkstra computes the same distances with the sequential
+// typed-heap Dijkstra baseline, for validation and benchmarking.
+func (s *Snapshot) ShortestPathsDijkstra(src VertexID) []int64 {
+	return sssp.Dijkstra(s.g, src, sssp.LabelWeights)
 }
 
 // HopDistances computes unweighted (hop count) distances via the same
 // machinery, for validation against BFS levels.
 func (s *Snapshot) HopDistances(workers int, src VertexID) []int64 {
-	return sssp.DeltaStepping(workers, s.g, src, sssp.UnitWeights, 1)
+	return sssp.Run(s.g, src, sssp.Options{
+		Workers: workers,
+		Delta:   1,
+		Weights: sssp.UnitWeights,
+	})
 }
 
 // --- Small-world diagnostics -------------------------------------------------

@@ -20,6 +20,7 @@ import (
 	"snapdyn/internal/lct"
 	"snapdyn/internal/par"
 	"snapdyn/internal/rmat"
+	"snapdyn/internal/sssp"
 	"snapdyn/internal/stream"
 	"snapdyn/internal/subgraph"
 	"snapdyn/internal/timing"
@@ -46,6 +47,10 @@ type Config struct {
 	// and closeness sweeps): "topdown" (the default, classic push) or
 	// "dirop" (direction-optimizing push/pull).
 	BFSEngine string
+	// Deltas is the bucket-width sweep for the "sssp" kernel: one
+	// measurement series per value, with 0 meaning the heuristic
+	// (average-weight) width. Empty means just the heuristic.
+	Deltas []int64
 }
 
 // strategy maps BFSEngine to the engine strategy shared by all kernels.
@@ -420,6 +425,13 @@ func Fig11TemporalBC(cfg Config, numSources int) *timing.Table {
 // strategy for all of them. It demonstrates (and measures) that the one
 // engine serves every kernel; compare a topdown run against a dirop run
 // of the same kernel to see the pull step's effect beyond plain BFS.
+//
+// The weighted kernel ("sssp") sweeps delta-stepping shortest paths
+// with the arc time labels as weights — one series per Config.Deltas
+// bucket width over the worker sweep, against a single-threaded typed-
+// heap Dijkstra baseline series. Runs after the first reuse a warm
+// sssp.Scratch, so the steady-state numbers reflect the pre-partitioned
+// zero-allocation kernel, not arena warm-up.
 func KernelSweep(cfg Config, kernel string, numSources int) *timing.Table {
 	if numSources <= 0 {
 		numSources = 256
@@ -469,10 +481,45 @@ func KernelSweep(cfg Config, kernel string, numSources int) *timing.Table {
 				Ops: int64(len(sources)) * g.NumEdges(), Seconds: secs,
 			})
 		}
+	case "sssp":
+		src := largestComponentVertex(g)
+		deltas := cfg.Deltas
+		if len(deltas) == 0 {
+			deltas = []int64{0}
+		}
+		t.Note += fmt.Sprintf(", source %d, label weights", src)
+		for _, delta := range deltas {
+			// One scratch per delta: the cached weighted view is keyed
+			// by (graph, delta), so sharing across the worker sweep
+			// reuses it while a delta change rebuilds it untimed here.
+			scratch := sssp.NewScratch()
+			opt := sssp.Options{Delta: delta, Scratch: scratch}
+			sssp.Run(g, src, opt) // warm the view and buffers
+			for _, w := range cfg.workers() {
+				opt.Workers = w
+				secs := timing.Time(func() { sssp.Run(g, src, opt) })
+				t.Add(timing.Measurement{
+					Label: "sssp-delta", Param: deltaParam(delta),
+					Workers: w, Ops: g.NumEdges(), Seconds: secs,
+				})
+			}
+		}
+		secs := timing.Time(func() { sssp.Dijkstra(g, src, sssp.LabelWeights) })
+		t.Add(timing.Measurement{
+			Label: "sssp-dijkstra", Workers: 1, Ops: g.NumEdges(), Seconds: secs,
+		})
 	default:
-		panic(fmt.Sprintf("bench: unknown kernel %q (want bfs, bc, or closeness)", kernel))
+		panic(fmt.Sprintf("bench: unknown kernel %q (want bfs, bc, closeness, or sssp)", kernel))
 	}
 	return t
+}
+
+// deltaParam tags an sssp series with its bucket width.
+func deltaParam(delta int64) string {
+	if delta <= 0 {
+		return "delta=auto"
+	}
+	return fmt.Sprintf("delta=%d", delta)
 }
 
 func largestComponentVertex(g *csr.Graph) edge.ID {

@@ -109,3 +109,14 @@ func TestDefaultConfig(t *testing.T) {
 		t.Fatal("size computation wrong")
 	}
 }
+
+func TestKernelSweepSSSP(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Deltas = []int64{0, 25}
+	tbl := KernelSweep(cfg, "sssp", 0)
+	checkTable(t, tbl, "sssp-delta", "sssp-dijkstra")
+	// One row per (delta, worker) plus the Dijkstra baseline.
+	if want := len(cfg.Deltas)*len(cfg.Workers) + 1; len(tbl.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), want)
+	}
+}

@@ -69,6 +69,13 @@ func (b *Bitmap) Set(i uint32) bool {
 	return old&mask == 0
 }
 
+// Clear clears bit i non-atomically. Kernels that dedup small batches
+// against a large bitmap pair Set with per-member Clear so the reset
+// costs O(batch), not O(n).
+func (b *Bitmap) Clear(i uint32) {
+	b.words[i>>6] &^= 1 << (i & 63)
+}
+
 // TrySet sets bit i with an atomic word-OR and reports whether this call
 // set it (set-once semantics under concurrency: exactly one concurrent
 // TrySet(i) returns true).

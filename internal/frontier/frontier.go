@@ -146,8 +146,17 @@ func (b *Buckets) Grow(workers int) {
 	}
 }
 
+// Width returns the number of buffers in the pool.
+func (b *Buckets) Width() int { return len(b.bufs) }
+
 // Take returns worker w's buffer, emptied.
 func (b *Buckets) Take(w int) []uint32 { return b.bufs[w][:0] }
+
+// Buf returns worker w's current contents without emptying it (a view;
+// valid until the next Take or Put for w). Consumers that scatter bucket
+// contents somewhere other than a Frontier iterate Buf over the width
+// and Put the emptied buffer back.
+func (b *Buckets) Buf(w int) []uint32 { return b.bufs[w] }
 
 // Put stores worker w's buffer back (call after appends: append may have
 // reallocated the backing array).

@@ -226,3 +226,46 @@ func TestBucketsGrowKeepsBuffers(t *testing.T) {
 		t.Fatal("grow dropped existing buffer")
 	}
 }
+
+func TestBitmapClear(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []uint32{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	b.Clear(63)
+	b.Clear(129)
+	if b.Get(63) || b.Get(129) {
+		t.Fatal("cleared bits still set")
+	}
+	if !b.Get(0) || !b.Get(64) {
+		t.Fatal("Clear disturbed neighboring bits")
+	}
+	if b.Count() != 2 {
+		t.Fatalf("count = %d, want 2", b.Count())
+	}
+	// Set-after-Clear reports newly set again (the batch-dedup cycle).
+	if !b.Set(63) {
+		t.Fatal("re-Set after Clear not reported as new")
+	}
+}
+
+func TestBucketsBufAndWidth(t *testing.T) {
+	b := NewBuckets(3)
+	if b.Width() != 3 {
+		t.Fatalf("width = %d, want 3", b.Width())
+	}
+	buf := b.Take(1)
+	buf = append(buf, 7, 8)
+	b.Put(1, buf)
+	if got := b.Buf(1); len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("Buf(1) = %v, want [7 8]", got)
+	}
+	if len(b.Buf(0)) != 0 || len(b.Buf(2)) != 0 {
+		t.Fatal("untouched buckets not empty")
+	}
+	// The scatter cycle: read Buf, then Put back emptied.
+	b.Put(1, b.Buf(1)[:0])
+	if len(b.Buf(1)) != 0 {
+		t.Fatal("Put of emptied buffer did not clear")
+	}
+}

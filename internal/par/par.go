@@ -159,7 +159,7 @@ func Reduce[T any](workers, n int, zero T, fold func(acc T, i int) T, combine fu
 	ForBlock(workers, n, func(lo, hi int) {
 		// Recover the worker index from the block: blocks are assigned in
 		// order, sized q or q+1.
-		w := blockIndex(workers, n, lo)
+		w := BlockIndex(workers, n, lo)
 		acc := zero
 		for i := lo; i < hi; i++ {
 			acc = fold(acc, i)
@@ -173,9 +173,13 @@ func Reduce[T any](workers, n int, zero T, fold func(acc T, i int) T, combine fu
 	return acc
 }
 
-// blockIndex returns the worker index owning offset lo under ForBlock's
-// partitioning of n items among workers.
-func blockIndex(workers, n, lo int) int {
+// BlockIndex returns the worker index owning offset lo under ForBlock's
+// partitioning of n items among workers — the inversion kernels use to
+// map a block start to a per-worker buffer. It is only meaningful when
+// ForBlock did not clamp the worker count (n >= workers); callers with
+// possibly-smaller ranges must fall back to a serial path. Any change
+// to ForBlock's split must be mirrored here.
+func BlockIndex(workers, n, lo int) int {
 	q, r := n/workers, n%workers
 	big := r * (q + 1) // total items in the first r (larger) blocks
 	if lo < big {

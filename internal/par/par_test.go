@@ -101,7 +101,7 @@ func TestBlockIndex(t *testing.T) {
 			if workers > n {
 				continue
 			}
-			// Recompute the block boundaries and verify blockIndex agrees.
+			// Recompute the block boundaries and verify BlockIndex agrees.
 			q, r := n/workers, n%workers
 			lo := 0
 			for w := 0; w < workers; w++ {
@@ -110,8 +110,8 @@ func TestBlockIndex(t *testing.T) {
 					hi++
 				}
 				for i := lo; i < hi; i++ {
-					if got := blockIndex(workers, n, i); got != w {
-						t.Fatalf("blockIndex(%d,%d,%d) = %d, want %d", workers, n, i, got, w)
+					if got := BlockIndex(workers, n, i); got != w {
+						t.Fatalf("BlockIndex(%d,%d,%d) = %d, want %d", workers, n, i, got, w)
 					}
 				}
 				lo = hi

@@ -1,0 +1,86 @@
+package sssp
+
+import (
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+)
+
+// Dijkstra computes exact shortest path distances from src with a typed
+// binary heap — the sequential baseline. Weights must be non-negative;
+// a negative weight panics. The heap stores (vertex, distance) pairs
+// directly, so pushes and pops involve no interface boxing.
+func Dijkstra(g *csr.Graph, src edge.ID, w WeightFunc) []int64 {
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	h := distHeap{items: make([]distItem, 1, 64)}
+	h.items[0] = distItem{v: src, d: 0}
+	for len(h.items) > 0 {
+		item := h.pop()
+		if item.d > dist[item.v] {
+			continue // stale entry
+		}
+		adj, ts := g.Neighbors(item.v)
+		for i, v := range adj {
+			wt := w(ts[i])
+			if wt < 0 {
+				panic("sssp: negative weight")
+			}
+			if nd := item.d + wt; nd < dist[v] {
+				dist[v] = nd
+				h.push(distItem{v: v, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v uint32
+	d int64
+}
+
+// distHeap is a plain binary min-heap over distItem values, ordered by
+// distance.
+type distHeap struct {
+	items []distItem
+}
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].d <= h.items[i].d {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.items[l].d < h.items[small].d {
+			small = l
+		}
+		if r < last && h.items[r].d < h.items[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

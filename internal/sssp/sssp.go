@@ -7,24 +7,33 @@
 // sequential Dijkstra baseline for validation.
 //
 // Weights are derived from the arc's uint32 payload via a WeightFunc, so
-// time labels can double as weights or be mapped arbitrarily.
+// time labels can double as weights or be mapped arbitrarily. The kernel
+// runs over a weight-materialized view (internal/wcsr) that computes and
+// validates every weight once and pre-partitions each adjacency into a
+// light prefix and heavy suffix, so the relaxation phases scan only
+// their own arcs with no per-arc closure call or weight branch. A
+// Scratch carries every reusable buffer — the distance array, the
+// cyclic bucket ring, the dedup bitmaps, and the per-worker relaxation
+// outputs — so steady-state repeated SSSP over one snapshot allocates
+// nothing.
 package sssp
 
 import (
-	"container/heap"
 	"math"
-	"sync/atomic"
 
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
-	"snapdyn/internal/par"
+	"snapdyn/internal/wcsr"
 )
 
 // Inf marks unreachable vertices in distance arrays.
 const Inf = int64(math.MaxInt64)
 
-// WeightFunc maps an arc's stored label to a non-negative weight.
-type WeightFunc func(ts uint32) int64
+// WeightFunc maps an arc's stored label to a non-negative weight that
+// fits in uint32 (label-derived weights always do). Violations are
+// reported by a panic from the single up-front materialization pass,
+// never from inside a parallel relaxation phase.
+type WeightFunc = wcsr.WeightFunc
 
 // UnitWeights ignores labels: every arc costs 1 (BFS distances).
 func UnitWeights(uint32) int64 { return 1 }
@@ -32,216 +41,45 @@ func UnitWeights(uint32) int64 { return 1 }
 // LabelWeights uses the stored label directly as the weight.
 func LabelWeights(ts uint32) int64 { return int64(ts) }
 
-// Dijkstra computes exact shortest path distances from src with a binary
-// heap — the sequential baseline. Weights must be non-negative.
-func Dijkstra(g *csr.Graph, src edge.ID, w WeightFunc) []int64 {
-	dist := make([]int64, g.N)
-	for i := range dist {
-		dist[i] = Inf
-	}
-	dist[src] = 0
-	pq := &distHeap{{v: uint32(src), d: 0}}
-	for pq.Len() > 0 {
-		item := heap.Pop(pq).(distItem)
-		if item.d > dist[item.v] {
-			continue // stale entry
-		}
-		adj, ts := g.Neighbors(item.v)
-		for i, v := range adj {
-			wt := w(ts[i])
-			if wt < 0 {
-				panic("sssp: negative weight")
-			}
-			if nd := item.d + wt; nd < dist[v] {
-				dist[v] = nd
-				heap.Push(pq, distItem{v: v, d: nd})
-			}
-		}
-	}
-	return dist
+// Options configures a delta-stepping run.
+type Options struct {
+	// Workers is the parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+	// Delta is the bucket width; <= 0 picks the heuristic (average arc
+	// weight, deterministically sampled).
+	Delta int64
+	// Weights maps time labels to arc weights; nil means LabelWeights.
+	Weights WeightFunc
+	// Scratch, when non-nil, supplies every reusable buffer including
+	// the cached weighted view of the graph, making repeated runs over
+	// one snapshot allocation-free. The returned distance slice is owned
+	// by the Scratch and overwritten by its next run.
+	Scratch *Scratch
 }
 
-type distItem struct {
-	v uint32
-	d int64
-}
-
-type distHeap []distItem
-
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+// Run computes shortest path distances from src under opt. Distances
+// match Dijkstra exactly; unreachable vertices hold Inf.
+func Run(g *csr.Graph, src edge.ID, opt Options) []int64 {
+	sc := opt.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
+	wf := opt.Weights
+	if wf == nil {
+		wf = LabelWeights
+	}
+	workers := opt.Workers
+	wg := sc.prepare(workers, g, wf, opt.Delta)
+	return sc.run(workers, wg, src)
 }
 
 // DeltaStepping computes shortest path distances from src in parallel
 // using bucketed relaxation: vertices are settled in distance bands of
 // width delta; "light" arcs (weight <= delta) are relaxed iteratively
 // within a band, "heavy" arcs once per settled vertex. delta <= 0 picks
-// a heuristic (average weight). Distances match Dijkstra exactly.
+// a heuristic (average weight). Distances match Dijkstra exactly. It is
+// Run with a throwaway Scratch; use Run with a warm Scratch for repeated
+// sources over one snapshot.
 func DeltaStepping(workers int, g *csr.Graph, src edge.ID, w WeightFunc, delta int64) []int64 {
-	if workers <= 0 {
-		workers = par.MaxWorkers()
-	}
-	if delta <= 0 {
-		delta = heuristicDelta(g, w)
-	}
-	dist := make([]int64, g.N)
-	for i := range dist {
-		dist[i] = Inf
-	}
-	dist[src] = 0
-
-	// buckets[i] holds vertices with tentative distance in
-	// [i*delta, (i+1)*delta); grown on demand.
-	var buckets [][]uint32
-	addToBucket := func(v uint32, d int64) {
-		idx := int(d / delta)
-		for idx >= len(buckets) {
-			buckets = append(buckets, nil)
-		}
-		buckets[idx] = append(buckets[idx], v)
-	}
-	addToBucket(uint32(src), 0)
-
-	// relax attempts dist[v] = min(dist[v], nd) with a CAS loop; the
-	// winning worker reports the improvement through its local adds.
-	relax := func(v uint32, nd int64, adds *[]uint32) {
-		for {
-			cur := atomic.LoadInt64(&dist[v])
-			if nd >= cur {
-				return
-			}
-			if atomic.CompareAndSwapInt64(&dist[v], cur, nd) {
-				*adds = append(*adds, v)
-				return
-			}
-		}
-	}
-
-	perWorker := make([][]uint32, workers)
-	runPhase := func(frontier []uint32, light bool) []uint32 {
-		for i := range perWorker {
-			perWorker[i] = perWorker[i][:0]
-		}
-		par.ForBlock(workers, len(frontier), func(lo, hi int) {
-			wk := workerIndex(workers, len(frontier), lo)
-			adds := &perWorker[wk]
-			for i := lo; i < hi; i++ {
-				u := frontier[i]
-				du := atomic.LoadInt64(&dist[u])
-				adj, ts := g.Neighbors(u)
-				for j, v := range adj {
-					wt := w(ts[j])
-					if wt < 0 {
-						panic("sssp: negative weight")
-					}
-					if (wt <= delta) != light {
-						continue
-					}
-					relax(v, du+wt, adds)
-				}
-			}
-		})
-		var out []uint32
-		for i := range perWorker {
-			out = append(out, perWorker[i]...)
-		}
-		return out
-	}
-
-	for bi := 0; bi < len(buckets); bi++ {
-		var settled []uint32
-		// Light-edge fixpoint within the band.
-		for len(buckets[bi]) > 0 {
-			band := dedupeInBand(buckets[bi], dist, int64(bi), delta)
-			buckets[bi] = nil
-			settled = append(settled, band...)
-			for _, v := range runPhase(band, true) {
-				d := atomic.LoadInt64(&dist[v])
-				addToBucket(v, d)
-			}
-			// Re-added vertices may land in this same bucket (light
-			// edges keep them within delta); loop until empty.
-		}
-		// Heavy edges once per settled vertex.
-		settled = dedupe(settled)
-		for _, v := range runPhase(settled, false) {
-			d := atomic.LoadInt64(&dist[v])
-			addToBucket(v, d)
-		}
-	}
-	return dist
-}
-
-// dedupeInBand filters a bucket to vertices whose current tentative
-// distance still falls in band bi (stale entries are dropped), removing
-// duplicates.
-func dedupeInBand(vs []uint32, dist []int64, bi, delta int64) []uint32 {
-	seen := make(map[uint32]bool, len(vs))
-	out := vs[:0]
-	for _, v := range vs {
-		if seen[v] {
-			continue
-		}
-		seen[v] = true
-		d := atomic.LoadInt64(&dist[v])
-		if d/delta == bi {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-func dedupe(vs []uint32) []uint32 {
-	seen := make(map[uint32]bool, len(vs))
-	out := vs[:0]
-	for _, v := range vs {
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// heuristicDelta picks the average arc weight (at least 1), the standard
-// delta-stepping starting point.
-func heuristicDelta(g *csr.Graph, w WeightFunc) int64 {
-	arcs := int64(len(g.Adj))
-	if arcs == 0 {
-		return 1
-	}
-	sample := arcs
-	if sample > 1<<16 {
-		sample = 1 << 16
-	}
-	var sum int64
-	for i := int64(0); i < sample; i++ {
-		sum += w(g.TS[i*arcs/sample])
-	}
-	d := sum / sample
-	if d < 1 {
-		d = 1
-	}
-	return d
-}
-
-// workerIndex mirrors par.ForBlock's static partitioning.
-func workerIndex(workers, n, lo int) int {
-	q, r := n/workers, n%workers
-	big := r * (q + 1)
-	if lo < big {
-		return lo / (q + 1)
-	}
-	if q == 0 {
-		return workers - 1
-	}
-	return r + (lo-big)/q
+	return Run(g, src, Options{Workers: workers, Weights: w, Delta: delta})
 }

@@ -224,3 +224,39 @@ func TestSteadyStateAllocations(t *testing.T) {
 		t.Fatalf("allocs grow with graph size: %g (2^10) -> %g (2^14)", small, large)
 	}
 }
+
+func TestDeriveThresholds(t *testing.T) {
+	// Low skew: the global defaults, unchanged.
+	p := rmatGraph(t, 10, 8, 0, 3) // path-adjacent skew well under the ref
+	if a, b := DeriveThresholds(p); a > DefaultAlpha || b < DefaultBeta {
+		t.Fatalf("low-skew thresholds moved the wrong way: alpha=%d beta=%d", a, b)
+	}
+	// A star graph is maximally skewed: alpha must drop (later pull
+	// entry) and beta rise (longer pull stay), within the clamps.
+	n := 1 << 12
+	var edges []edge.Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, edge.Edge{U: 0, V: uint32(v)})
+	}
+	star := csr.FromEdges(0, n, edges, true)
+	a, b := DeriveThresholds(star)
+	if a >= DefaultAlpha || b <= DefaultBeta {
+		t.Fatalf("star thresholds not shifted: alpha=%d beta=%d", a, b)
+	}
+	if a < 6 || b > 28 {
+		t.Fatalf("thresholds escaped clamps: alpha=%d beta=%d", a, b)
+	}
+	// Degenerate shapes fall back to the defaults.
+	if a, b := DeriveThresholds(csr.FromEdges(1, 3, nil, false)); a != DefaultAlpha || b != DefaultBeta {
+		t.Fatalf("empty-graph thresholds: alpha=%d beta=%d", a, b)
+	}
+	// Derived thresholds preserve traversal results: the switch points
+	// only affect direction choice, never the BFS levels.
+	g := rmatGraph(t, 11, 8, 0, 7)
+	want := Run(g, []uint32{1}, Options{Workers: 2, Strategy: DirectionOpt, Alpha: DefaultAlpha, Beta: DefaultBeta}, nil, nil)
+	got := Run(g, []uint32{1}, Options{Workers: 2, Strategy: DirectionOpt}, nil, nil)
+	levelsEqual(t, "derived-thresholds", got.Level, want.Level)
+	if got.Reached != want.Reached {
+		t.Fatalf("reached %d, want %d", got.Reached, want.Reached)
+	}
+}

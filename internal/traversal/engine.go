@@ -41,6 +41,51 @@ const (
 	DefaultBeta = 18
 )
 
+// thresholdSkewRef is the degree skew (max degree over mean degree) up
+// to which the global defaults apply unchanged. R-MAT instances at the
+// paper's parameters sit at or below it; the adjustment kicks in only
+// for distributions with markedly heavier tails.
+const thresholdSkewRef = 128
+
+// DeriveThresholds returns direction-switching thresholds tuned to the
+// graph's degree distribution. Up to a skew (MaxDegree/mean degree) of
+// thresholdSkewRef it returns the global defaults; beyond that, each
+// doubling of the skew lowers alpha and raises beta. The shift is
+// empirical (see the ROADMAP benchmark note): on hub-dominated graphs
+// the frontier's edge mass explodes one level before the frontier
+// itself saturates, so the default alpha enters pull a level too early
+// (scanning mostly-unvisited adjacencies that push would have claimed
+// cheaply), and the long tail of degree-1 stragglers keeps late
+// frontiers small in vertex count while expensive to finish in push —
+// dropping back out of pull early (small beta) costs up to 3x there.
+// Alpha is floored at 6 and beta capped at 28. Run derives thresholds
+// through here whenever Options leaves Alpha or Beta unset for a
+// direction-optimizing traversal, caching the result in the Scratch by
+// (n, m) so steady-state runs skip the O(n) degree scan.
+func DeriveThresholds(g *csr.Graph) (alpha, beta int64) {
+	alpha, beta = DefaultAlpha, DefaultBeta
+	m := g.NumEdges()
+	if g.N == 0 || m == 0 {
+		return alpha, beta
+	}
+	mean := m / int64(g.N)
+	if mean < 1 {
+		mean = 1
+	}
+	skew := g.MaxDegree() / mean
+	for s := skew; s > thresholdSkewRef; s >>= 1 {
+		alpha -= 2
+		beta += 2
+	}
+	if alpha < 6 {
+		alpha = 6
+	}
+	if beta > 28 {
+		beta = 28
+	}
+	return alpha, beta
+}
+
 // ArcFilter restricts traversal to accepted arcs with endpoint context:
 // u is the tail (a frontier vertex), v the head, t the arc's time label.
 // Unlike EdgeFilter it can consult per-vertex kernel state — e.g. the
@@ -130,10 +175,29 @@ type Scratch struct {
 	buckets   *frontier.Buckets
 	offsets   []int64
 	ex        *exec
+
+	// Cached DeriveThresholds result, keyed by (n, m). The key is a
+	// heuristic identity — a different graph with the same shape reuses
+	// the cached thresholds, which only ever affects the direction
+	// switch points, never correctness — chosen over a graph pointer so
+	// a long-lived Scratch does not pin a retired snapshot.
+	thrN              int
+	thrM              int64
+	thrAlpha, thrBeta int64
 }
 
 // NewScratch returns an empty arena; buffers are sized on first use.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// thresholds returns the derived direction-switching thresholds for g,
+// recomputing only when the graph shape changed since the last call.
+func (s *Scratch) thresholds(g *csr.Graph) (int64, int64) {
+	if s.thrAlpha == 0 || s.thrN != g.N || s.thrM != g.NumEdges() {
+		s.thrAlpha, s.thrBeta = DeriveThresholds(g)
+		s.thrN, s.thrM = g.N, g.NumEdges()
+	}
+	return s.thrAlpha, s.thrBeta
+}
 
 func (s *Scratch) ensure(n, workers int) {
 	if s.cur == nil {
@@ -206,13 +270,6 @@ func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Res
 	if workers <= 0 {
 		workers = par.MaxWorkers()
 	}
-	alpha, beta := opt.Alpha, opt.Beta
-	if alpha <= 0 {
-		alpha = DefaultAlpha
-	}
-	if beta <= 0 {
-		beta = DefaultBeta
-	}
 	n := g.N
 	if res == nil {
 		res = &Result{}
@@ -222,6 +279,27 @@ func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Res
 		scratch = NewScratch()
 	}
 	scratch.ensure(n, workers)
+
+	// Unset thresholds derive from the degree distribution; explicit
+	// Options values always win. The derivation only matters (and only
+	// costs its degree scan, cached in the Scratch) when the direction
+	// heuristic is live.
+	alpha, beta := opt.Alpha, opt.Beta
+	if (alpha <= 0 || beta <= 0) && opt.Strategy == DirectionOpt && opt.Hooks.Relax == nil {
+		da, db := scratch.thresholds(g)
+		if alpha <= 0 {
+			alpha = da
+		}
+		if beta <= 0 {
+			beta = db
+		}
+	}
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	if beta <= 0 {
+		beta = DefaultBeta
+	}
 
 	e := scratch.exec()
 	e.g, e.res = g, res
@@ -370,7 +448,7 @@ func (e *exec) topDownFastBody(lo, hi int) {
 	g, res, offsets, verts := e.g, e.res, e.offsets, e.verts
 	level, filter, needMass := e.level, e.filter, e.needMass
 	visited := res.Visited
-	w := searchWorker(e.workers, int(e.totalWork), lo)
+	w := par.BlockIndex(e.workers, int(e.totalWork), lo)
 	local := e.sc.buckets.Take(w)
 	var edges int64
 	// Locate the first frontier vertex whose arc range intersects
@@ -421,7 +499,7 @@ func (e *exec) topDownVisitBody(lo, hi int) {
 	g, res, offsets, verts := e.g, e.res, e.offsets, e.verts
 	level, filter, arcF, onArc, needMass := e.level, e.filter, e.arc, e.onArc, e.needMass
 	visited := res.Visited
-	w := searchWorker(e.workers, int(e.totalWork), lo)
+	w := par.BlockIndex(e.workers, int(e.totalWork), lo)
 	local := e.sc.buckets.Take(w)
 	var edges int64
 	vi := searchOffsets(offsets, int64(lo))
@@ -676,17 +754,4 @@ func searchOffsets(offsets []int64, pos int64) int {
 		}
 	}
 	return lo
-}
-
-// searchWorker mirrors par.ForBlock's static partitioning.
-func searchWorker(workers, n, lo int) int {
-	q, r := n/workers, n%workers
-	big := r * (q + 1)
-	if lo < big {
-		return lo / (q + 1)
-	}
-	if q == 0 {
-		return workers - 1
-	}
-	return r + (lo-big)/q
 }

@@ -1,0 +1,165 @@
+// Package wcsr provides a weight-materialized view of a CSR snapshot for
+// the delta-stepping SSSP kernel: every arc's weight is computed once
+// from its time label at build time (instead of a WeightFunc call per arc
+// per relaxation phase), validated once up front, and each vertex's
+// adjacency is split into a light prefix (weight <= delta) and a heavy
+// suffix, so the light fixpoint and the heavy pass each scan only their
+// own arcs. The split halves the inner-loop arc traffic and removes the
+// closure call and the negative-weight branch from the hot loop.
+package wcsr
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+)
+
+// WeightFunc maps an arc's stored time label to its weight. Results must
+// be non-negative and fit in uint32 (label-derived weights always do);
+// Build validates every arc once and panics otherwise, so the relaxation
+// phases can trust the materialized array unconditionally.
+type WeightFunc func(ts uint32) int64
+
+// Graph is a weight-materialized, light/heavy-partitioned CSR view.
+// Vertex u's arcs occupy [Offsets[u], Offsets[u+1]) of Adj and W as in
+// csr.Graph, reordered so that arcs with W <= Delta form the prefix
+// [Offsets[u], LightEnd[u]) and heavy arcs the suffix
+// [LightEnd[u], Offsets[u+1]). Order within each class is unspecified.
+type Graph struct {
+	N        int
+	Offsets  []int64  // length N+1, shared with the source CSR (immutable)
+	LightEnd []int64  // length N: first heavy arc position per vertex
+	Adj      []uint32 // reordered adjacency
+	W        []uint32 // weights, parallel to Adj
+	Delta    int64    // partition width (>= 1)
+	MaxW     uint32   // largest arc weight
+}
+
+// NumEdges returns the number of stored arcs.
+func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) }
+
+// Build materializes weights for g under wf and partitions each
+// adjacency at delta. delta <= 0 picks HeuristicDelta over the
+// materialized weights. Panics if wf produces a weight outside
+// [0, MaxUint32].
+func Build(workers int, g *csr.Graph, wf WeightFunc, delta int64) *Graph {
+	wg := &Graph{}
+	wg.Rebuild(workers, g, wf, delta)
+	return wg
+}
+
+// Rebuild is Build into an existing view, reusing its arrays when large
+// enough — the scratch-reuse path for repeated SSSP over one snapshot.
+func (wg *Graph) Rebuild(workers int, g *csr.Graph, wf WeightFunc, delta int64) {
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	m := len(g.Adj)
+	wg.N = g.N
+	wg.Offsets = g.Offsets
+	if cap(wg.LightEnd) < g.N {
+		wg.LightEnd = make([]int64, g.N)
+	} else {
+		wg.LightEnd = wg.LightEnd[:g.N]
+	}
+	if cap(wg.Adj) < m {
+		wg.Adj = make([]uint32, m)
+		wg.W = make([]uint32, m)
+	} else {
+		wg.Adj = wg.Adj[:m]
+		wg.W = wg.W[:m]
+	}
+
+	// Pass 1: materialize and validate every weight once, in source arc
+	// order, tracking the maximum. An out-of-range weight is recorded
+	// atomically and reported by a panic after the barrier, on the
+	// caller's goroutine — a panic inside a par.ForBlock worker would
+	// crash the process with no chance to recover.
+	var maxW atomic.Uint32
+	badArc := atomic.Int64{}
+	badArc.Store(-1)
+	par.ForBlock(workers, m, func(lo, hi int) {
+		var localMax uint32
+		for i := lo; i < hi; i++ {
+			w := wf(g.TS[i])
+			if w < 0 || w > math.MaxUint32 {
+				badArc.CompareAndSwap(-1, int64(i))
+				return
+			}
+			wg.Adj[i] = g.Adj[i]
+			wg.W[i] = uint32(w)
+			if uint32(w) > localMax {
+				localMax = uint32(w)
+			}
+		}
+		for {
+			cur := maxW.Load()
+			if localMax <= cur || maxW.CompareAndSwap(cur, localMax) {
+				break
+			}
+		}
+	})
+	if i := badArc.Load(); i >= 0 {
+		panic(fmt.Sprintf("wcsr: weight %d for label %d outside [0, MaxUint32]", wf(g.TS[i]), g.TS[i]))
+	}
+	wg.MaxW = maxW.Load()
+
+	if delta <= 0 {
+		delta = HeuristicDelta(wg.W)
+	}
+	wg.Delta = delta
+
+	// Pass 2: in-place two-pointer partition of each vertex's (Adj, W)
+	// span into light prefix / heavy suffix.
+	par.ForDynamic(workers, g.N, 256, func(vlo, vhi int) {
+		for u := vlo; u < vhi; u++ {
+			lo, hi := wg.Offsets[u], wg.Offsets[u+1]-1
+			for lo <= hi {
+				if int64(wg.W[lo]) <= delta {
+					lo++
+					continue
+				}
+				wg.Adj[lo], wg.Adj[hi] = wg.Adj[hi], wg.Adj[lo]
+				wg.W[lo], wg.W[hi] = wg.W[hi], wg.W[lo]
+				hi--
+			}
+			wg.LightEnd[u] = lo
+		}
+	})
+}
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u edge.ID) int64 { return g.Offsets[u+1] - g.Offsets[u] }
+
+// heuristicSample bounds the number of arcs HeuristicDelta inspects.
+const heuristicSample = 1 << 16
+
+// HeuristicDelta returns the average arc weight (at least 1), the
+// standard delta-stepping starting point. Large arc sets are sampled
+// deterministically: a fixed stride of max(1, len(w)/2^16) starting at
+// index 0, so repeated runs over one snapshot pick the same delta. All
+// index arithmetic is additive (no i*stride products), so it cannot
+// overflow regardless of the arc count.
+func HeuristicDelta(w []uint32) int64 {
+	if len(w) == 0 {
+		return 1
+	}
+	stride := len(w) / heuristicSample
+	if stride < 1 {
+		stride = 1
+	}
+	var sum, count int64
+	for i := 0; i < len(w); i += stride {
+		sum += int64(w[i])
+		count++
+	}
+	d := sum / count
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,168 @@
+package wcsr
+
+import (
+	"sort"
+	"testing"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+)
+
+func rmatGraph(t *testing.T, scale, ef int, timeMax uint32, seed uint64) *csr.Graph {
+	t.Helper()
+	p := rmat.PaperParams(scale, ef*(1<<scale), timeMax, seed)
+	edges, err := rmat.Generate(0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return csr.FromEdges(0, p.NumVertices(), edges, true)
+}
+
+// checkView verifies the structural invariants of a built view against
+// its source: the partition point, the weight mapping, and arc-set
+// preservation per vertex.
+func checkView(t *testing.T, g *csr.Graph, wg *Graph, wf WeightFunc) {
+	t.Helper()
+	if wg.N != g.N || len(wg.Adj) != len(g.Adj) || len(wg.W) != len(g.Adj) {
+		t.Fatalf("shape mismatch: N=%d/%d m=%d/%d", wg.N, g.N, len(wg.Adj), len(g.Adj))
+	}
+	var maxW uint32
+	for u := 0; u < g.N; u++ {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		le := wg.LightEnd[u]
+		if le < lo || le > hi {
+			t.Fatalf("vertex %d: LightEnd %d outside [%d,%d]", u, le, lo, hi)
+		}
+		for p := lo; p < hi; p++ {
+			if w := int64(wg.W[p]); (w <= wg.Delta) != (p < le) {
+				t.Fatalf("vertex %d arc %d: weight %d on wrong side of LightEnd (delta %d)", u, p, w, wg.Delta)
+			}
+			if wg.W[p] > maxW {
+				maxW = wg.W[p]
+			}
+		}
+		// Same multiset of (neighbor, weight) pairs as wf over the source.
+		want := make([][2]uint64, 0, hi-lo)
+		got := make([][2]uint64, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			want = append(want, [2]uint64{uint64(g.Adj[p]), uint64(wf(g.TS[p]))})
+			got = append(got, [2]uint64{uint64(wg.Adj[p]), uint64(wg.W[p])})
+		}
+		less := func(s [][2]uint64) func(i, j int) bool {
+			return func(i, j int) bool {
+				if s[i][0] != s[j][0] {
+					return s[i][0] < s[j][0]
+				}
+				return s[i][1] < s[j][1]
+			}
+		}
+		sort.Slice(want, less(want))
+		sort.Slice(got, less(got))
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("vertex %d: arc multiset diverged at %d: %v vs %v", u, i, got[i], want[i])
+			}
+		}
+	}
+	if maxW != wg.MaxW {
+		t.Fatalf("MaxW = %d, want %d", wg.MaxW, maxW)
+	}
+}
+
+func TestBuildPartition(t *testing.T) {
+	g := rmatGraph(t, 9, 8, 100, 11)
+	for _, delta := range []int64{1, 17, 50, 1000, 0} {
+		for _, workers := range []int{1, 4} {
+			wg := Build(workers, g, func(ts uint32) int64 { return int64(ts) }, delta)
+			if delta > 0 && wg.Delta != delta {
+				t.Fatalf("Delta = %d, want %d", wg.Delta, delta)
+			}
+			if wg.Delta < 1 {
+				t.Fatalf("Delta = %d, want >= 1", wg.Delta)
+			}
+			checkView(t, g, wg, func(ts uint32) int64 { return int64(ts) })
+		}
+	}
+}
+
+func TestRebuildReusesArrays(t *testing.T) {
+	g := rmatGraph(t, 9, 8, 100, 12)
+	wf := func(ts uint32) int64 { return int64(ts) }
+	wg := Build(1, g, wf, 10)
+	adj0, w0 := &wg.Adj[0], &wg.W[0]
+	wg.Rebuild(1, g, wf, 25)
+	if &wg.Adj[0] != adj0 || &wg.W[0] != w0 {
+		t.Fatal("Rebuild reallocated same-size arrays")
+	}
+	checkView(t, g, wg, wf)
+}
+
+func TestBuildEmptyAndIsolated(t *testing.T) {
+	g := csr.FromEdges(1, 4, nil, false)
+	wg := Build(1, g, func(uint32) int64 { return 1 }, 0)
+	if wg.Delta != 1 || wg.MaxW != 0 || wg.NumEdges() != 0 {
+		t.Fatalf("empty view: delta=%d maxW=%d m=%d", wg.Delta, wg.MaxW, wg.NumEdges())
+	}
+}
+
+func TestBuildValidatesWeights(t *testing.T) {
+	g := csr.FromEdges(1, 2, []edge.Edge{{U: 0, V: 1, T: 5}}, false)
+	for _, wf := range []WeightFunc{
+		func(uint32) int64 { return -1 },
+		func(uint32) int64 { return 1 << 40 },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic for out-of-range weight")
+				}
+			}()
+			Build(1, g, wf, 0)
+		}()
+	}
+}
+
+func TestHeuristicDelta(t *testing.T) {
+	if d := HeuristicDelta(nil); d != 1 {
+		t.Fatalf("empty: %d, want 1", d)
+	}
+	if d := HeuristicDelta([]uint32{0, 0, 0}); d != 1 {
+		t.Fatalf("all-zero: %d, want 1 (floor)", d)
+	}
+	if d := HeuristicDelta([]uint32{10, 20, 30}); d != 20 {
+		t.Fatalf("small: %d, want 20", d)
+	}
+	// Deterministic: same input, same answer, and a strided large input
+	// averages the sampled stride positions exactly.
+	big := make([]uint32, 1<<18)
+	for i := range big {
+		big[i] = uint32(i % 97)
+	}
+	d1, d2 := HeuristicDelta(big), HeuristicDelta(big)
+	if d1 != d2 {
+		t.Fatalf("nondeterministic: %d vs %d", d1, d2)
+	}
+	stride := len(big) / heuristicSample
+	var sum, count int64
+	for i := 0; i < len(big); i += stride {
+		sum += int64(big[i])
+		count++
+	}
+	if want := sum / count; d1 != want {
+		t.Fatalf("stride sample: %d, want %d", d1, want)
+	}
+}
+
+func TestBuildValidatesWeightsParallel(t *testing.T) {
+	// The out-of-range panic must surface on the caller's goroutine even
+	// when the materialization pass fans out to workers, so callers can
+	// recover it.
+	g := rmatGraph(t, 8, 6, 100, 13)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative weight at workers=4")
+		}
+	}()
+	Build(4, g, func(uint32) int64 { return -1 }, 0)
+}

@@ -69,3 +69,42 @@ func TestSTConnectedFastMatches(t *testing.T) {
 		}
 	}
 }
+
+// TestSSSPWithMatchesDijkstraTemporal checks delta-stepping against the
+// Dijkstra baseline on a snapshot of the dynamic store — the temporal
+// LabelWeights path, where each arc's time label is its weight — across
+// sources, worker counts, and a shared warm scratch.
+func TestSSSPWithMatchesDijkstraTemporal(t *testing.T) {
+	_, snap := buildSmall(t)
+	scratch := NewSSSPScratch()
+	for _, src := range snap.SampleSources(3, 9) {
+		want := snap.ShortestPathsDijkstra(src)
+		for _, workers := range []int{1, 4} {
+			got := snap.SSSPWith(src, SSSPOptions{Workers: workers, Scratch: scratch})
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("workers=%d src=%d: dist[%d] = %d, want %d",
+						workers, src, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestSSSPWithExplicitDelta checks that a caller-chosen bucket width
+// still matches the baseline, including a width change over one warm
+// scratch (which must rebuild the cached partitioned view).
+func TestSSSPWithExplicitDelta(t *testing.T) {
+	_, snap := buildSmall(t)
+	src := snap.SampleSources(1, 5)[0]
+	want := snap.ShortestPathsDijkstra(src)
+	scratch := NewSSSPScratch()
+	for _, delta := range []int64{1, 40, 1 << 20} {
+		got := snap.SSSPWith(src, SSSPOptions{Delta: delta, Scratch: scratch})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("delta=%d: dist[%d] = %d, want %d", delta, v, got[v], want[v])
+			}
+		}
+	}
+}
