@@ -12,6 +12,7 @@ package snapdyn
 // cmd/snapbench to run larger instances and full worker sweeps.
 
 import (
+	"fmt"
 	"testing"
 
 	ibench "snapdyn/internal/bench"
@@ -385,6 +386,69 @@ func BenchmarkSSSPDijkstra(b *testing.B) {
 
 // BenchmarkStoreInsertSingle measures single-edge insert latency per
 // representation.
+// BenchmarkSnapshotRefresh measures the incremental snapshot pipeline's
+// materialization cost against the full rebuild it replaces, at the
+// acceptance scale (R-MAT 16, m=10n): SnapshotManager.Refresh after
+// batches dirtying ~0.1%, 1%, and 10% of the vertices, plus the
+// full-rebuild baseline. Each iteration applies a batch (untimed) and
+// times only the refresh.
+func BenchmarkSnapshotRefresh(b *testing.B) {
+	const scale = 16
+	n := 1 << scale
+	edges, err := GenerateRMAT(0, PaperRMAT(scale, 10*n, 100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(b *testing.B) *Graph {
+		b.Helper()
+		g := New(n, WithExpectedEdges(2 * len(edges)))
+		g.InsertEdges(0, edges)
+		return g
+	}
+	dirtyBatch := func(k, round int) []Update {
+		batch := make([]Update, k)
+		stride := n / k
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < k; i++ {
+			u := VertexID((i * stride) % n)
+			e := Edge{U: u, V: u ^ 1, T: uint32(round + 1)}
+			op := OpInsert
+			if round%2 == 1 {
+				op = OpDelete // remove the previous round's edge: size stays stable
+			}
+			batch[i] = Update{Edge: e, Op: op}
+		}
+		return batch
+	}
+	for _, frac := range []float64{0.001, 0.01, 0.10} {
+		b.Run(fmt.Sprintf("dirty=%g", frac), func(b *testing.B) {
+			g := build(b)
+			m := g.Manager(0)
+			k := max(1, int(frac*float64(n)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				g.ApplyUpdates(0, dirtyBatch(k, i))
+				b.StartTimer()
+				m.Refresh(0)
+			}
+			b.ReportMetric(float64(m.Current().NumEdges())/1e6, "Marcs")
+		})
+	}
+	b.Run("full-rebuild", func(b *testing.B) {
+		g := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g.ApplyUpdates(0, dirtyBatch(max(1, n/1000), i))
+			b.StartTimer()
+			g.Snapshot(0)
+		}
+	})
+}
+
 func BenchmarkStoreInsertSingle(b *testing.B) {
 	const n = 1 << 14
 	mk := map[string]func() dyngraph.Store{

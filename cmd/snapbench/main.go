@@ -9,6 +9,7 @@
 //	snapbench -fig 10 -scale 20 -bfs dirop
 //	snapbench -fig kernel -kernel bc -bfs dirop -scale 14
 //	snapbench -fig kernel -kernel sssp -scale 16 -deltas 0,25,100
+//	snapbench -fig pipeline -scale 16 -qworkers 4
 //
 // Figures map to the paper as documented in DESIGN.md: 1-6 are the
 // dynamic-representation experiments, 7-8 the link-cut tree, 9 the
@@ -19,7 +20,11 @@
 // labels as arc weights, one series per -deltas bucket width with 0
 // meaning the average-weight heuristic, plus a sequential Dijkstra
 // baseline series); the -bfs engine choice applies to every BFS-shaped
-// kernel (figures 7, 10, 11, and kernel), not just plain BFS.
+// kernel (figures 7, 10, 11, and kernel), not just plain BFS. The
+// figure "pipeline" exercises the incremental snapshot pipeline:
+// refresh latency vs dirty fraction against a full rebuild, then
+// sustained mixed ingest/query with -qworkers concurrent BFS/SSSP
+// readers over the epoch-versioned snapshots.
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 		delFrac    = flag.Float64("delfrac", 0.075, "fraction of m to delete in figure 5")
 		bfsEngine  = flag.String("bfs", "topdown", "traversal engine for all BFS-shaped kernels (figures 7, 10, 11, kernel): topdown or dirop (direction-optimizing)")
 		kernel     = flag.String("kernel", "bfs", "kernel for the 'kernel' figure: bfs, bc, closeness, or sssp")
+		qworkers   = flag.Int("qworkers", 4, "concurrent query workers for the 'pipeline' figure")
 		deltas     = flag.String("deltas", "", "comma-separated delta-stepping bucket widths to sweep for -kernel=sssp (0 = average-weight heuristic; default just the heuristic)")
 		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
 	)
@@ -109,6 +115,9 @@ func main() {
 		"kernel": func() *timing.Table {
 			return bench.KernelSweep(cfg, *kernel, *sources)
 		},
+		"pipeline": func() *timing.Table {
+			return bench.FigPipeline(cfg, *qworkers)
+		},
 	}
 
 	var order []string
@@ -118,7 +127,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 1..11, kernel, or all)", f)
+				fatalf("unknown figure %q (want 1..11, kernel, pipeline, or all)", f)
 			}
 			order = append(order, f)
 		}

@@ -52,12 +52,27 @@
 //     BFSOptions leaves Alpha/Beta unset, the engine derives the
 //     direction-switching thresholds from the snapshot's degree skew
 //     (heavier tails enter pull later and stay longer).
+//   - An incremental snapshot pipeline for serving queries over a live
+//     update stream: every Graph tracks its dirty vertices (one atomic
+//     bit per mutated adjacency), and a SnapshotManager
+//     (Graph.Manager) publishes epoch-versioned immutable snapshots
+//     RCU-style — readers load the current snapshot with one atomic
+//     pointer read and never block on ingest, old snapshots stay valid
+//     until their last reader drops them, and Refresh rebuilds only
+//     the dirty adjacencies by reusing the previous snapshot's clean
+//     spans (csr.Refresh: prefix sum over degree deltas + bulk span
+//     copies), falling back to a full rebuild past a ~15% dirty
+//     fraction. At R-MAT scale 16 a refresh after dirtying 0.1% of
+//     the vertices runs ~12x faster than the full rebuild it replaces
+//     (BenchmarkSnapshotRefresh).
 //   - The R-MAT generator and update-stream tooling used by the paper's
-//     evaluation, one benchmark driver per paper figure, and a unified
+//     evaluation, one benchmark driver per paper figure, a unified
 //     kernel sweep (cmd/snapbench -fig kernel
 //     -kernel=bfs|bc|closeness|sssp) whose -bfs engine choice applies
 //     to every BFS-shaped kernel and whose -deltas flag sweeps the
-//     delta-stepping bucket width.
+//     delta-stepping bucket width, and a mixed ingest/query pipeline
+//     figure (-fig pipeline) measuring refresh latency vs dirty
+//     fraction and sustained MUPS+MTEPS under concurrent readers.
 //
 // # Quick start
 //
@@ -74,5 +89,9 @@
 // Concurrency: Graph mutation methods are safe for concurrent use.
 // Snapshots are immutable and safe for concurrent queries. A
 // Connectivity index supports concurrent queries; its structural updates
-// (Link/Cut) require external serialization against queries.
+// (Link/Cut) require external serialization against queries. A
+// SnapshotManager's Current/Epoch/Staleness may be called from any
+// goroutine at any time; Refresh calls serialize among themselves and
+// must not overlap graph mutations (apply a batch, then refresh —
+// readers keep querying throughout).
 package snapdyn

@@ -104,8 +104,12 @@ func Batched() Option {
 
 // Graph is a dynamic graph over a fixed vertex set [0, n).
 // All mutation and query methods are safe for concurrent use.
+//
+// Every graph tracks the set of vertices whose adjacency changed since
+// the last snapshot materialization (one atomic bit-set per update), so
+// a SnapshotManager can rebuild snapshots incrementally; see Manager.
 type Graph struct {
-	store      dyngraph.Store
+	store      *dyngraph.Tracked
 	undirected bool
 }
 
@@ -131,7 +135,7 @@ func New(n int, opts ...Option) *Graph {
 	if o.batched {
 		s = dyngraph.NewBatched(s)
 	}
-	return &Graph{store: s, undirected: o.undirected}
+	return &Graph{store: dyngraph.NewTracked(s), undirected: o.undirected}
 }
 
 // Representation returns the name of the backing structure.
@@ -211,7 +215,11 @@ func (g *Graph) InsertEdges(workers int, edges []Edge) {
 }
 
 // Snapshot freezes the current adjacency into an immutable CSR view for
-// the analysis kernels. It must not run concurrently with mutations.
+// the analysis kernels with a full rebuild. It must not run concurrently
+// with mutations, and it does not consume the dirty set a Manager
+// maintains — one-shot analysis and the managed pipeline compose freely.
+// For repeated snapshots over a live update stream, Manager's
+// incremental Refresh is much cheaper.
 func (g *Graph) Snapshot(workers int) *Snapshot {
 	return &Snapshot{g: csr.FromStore(workers, g.store), undirected: g.undirected}
 }

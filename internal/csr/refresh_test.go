@@ -1,0 +1,160 @@
+package csr
+
+import (
+	"fmt"
+	"testing"
+
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/xrand"
+)
+
+// refreshStores lists every Store representation the facade can build,
+// each wrapped in the dirty tracker the snapshot pipeline uses.
+func refreshStores(n int) map[string]*dyngraph.Tracked {
+	m := 8 * n
+	return map[string]*dyngraph.Tracked{
+		"dyn-arr":        dyngraph.NewTracked(dyngraph.NewDynArr(n, m)),
+		"treaps":         dyngraph.NewTracked(dyngraph.NewTreapStore(n, 11)),
+		"hybrid":         dyngraph.NewTracked(dyngraph.NewHybrid(n, m, 8, 12)),
+		"vpart":          dyngraph.NewTracked(dyngraph.NewVpart(n, m)),
+		"epart":          dyngraph.NewTracked(dyngraph.NewEpart(n, m, 0)),
+		"batched-hybrid": dyngraph.NewTracked(dyngraph.NewBatched(dyngraph.NewHybrid(n, m, 8, 13))),
+	}
+}
+
+func graphsEqual(t *testing.T, tag string, got, want *Graph) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("%s: N = %d, want %d", tag, got.N, want.N)
+	}
+	for u := 0; u <= got.N; u++ {
+		if got.Offsets[u] != want.Offsets[u] {
+			t.Fatalf("%s: Offsets[%d] = %d, want %d", tag, u, got.Offsets[u], want.Offsets[u])
+		}
+	}
+	if len(got.Adj) != len(want.Adj) {
+		t.Fatalf("%s: %d arcs, want %d", tag, len(got.Adj), len(want.Adj))
+	}
+	for i := range got.Adj {
+		if got.Adj[i] != want.Adj[i] || got.TS[i] != want.TS[i] {
+			t.Fatalf("%s: arc %d = (%d@%d), want (%d@%d)",
+				tag, i, got.Adj[i], got.TS[i], want.Adj[i], want.TS[i])
+		}
+	}
+}
+
+// randomBatch builds a mixed batch: inserts of fresh random edges plus
+// deletions of edges known to be live (and a few misses).
+func randomBatch(r *xrand.State, n, size int, live *[]edge.Edge, delFrac float64) []edge.Update {
+	batch := make([]edge.Update, 0, size)
+	for i := 0; i < size; i++ {
+		if r.Float64() < delFrac && len(*live) > 0 {
+			k := r.Intn(len(*live))
+			e := (*live)[k]
+			(*live)[k] = (*live)[len(*live)-1]
+			*live = (*live)[:len(*live)-1]
+			batch = append(batch, edge.Update{Edge: e, Op: edge.Delete})
+			continue
+		}
+		e := edge.Edge{U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n)), T: 1 + r.Uint32n(100)}
+		*live = append(*live, e)
+		batch = append(batch, edge.Update{Edge: e, Op: edge.Insert})
+	}
+	// A couple of deletions that miss (absent edges): they must not
+	// perturb the snapshot.
+	batch = append(batch, edge.Update{Edge: edge.Edge{U: 0, V: uint32(n - 1), T: 999}, Op: edge.Delete})
+	return batch
+}
+
+// TestRefreshEquivalence asserts that after arbitrary insert/delete/
+// mixed batches, Refresh over the flushed dirty set is arc-for-arc
+// (adjacency and time label) identical to a fresh FromStore, for every
+// store representation, chaining incrementally across rounds.
+func TestRefreshEquivalence(t *testing.T) {
+	const n, rounds, batchSize = 512, 6, 300
+	for _, workers := range []int{1, 4} {
+		for name, s := range refreshStores(n) {
+			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
+				r := xrand.New(uint64(workers)*1000 + uint64(len(name)))
+				var live []edge.Edge
+				// Bootstrap insertions, then the first materialization.
+				s.ApplyBatch(workers, randomBatch(r, n, 4*batchSize, &live, 0))
+				s.Flush(nil)
+				base := FromStore(workers, s)
+				for round := 0; round < rounds; round++ {
+					delFrac := 0.3
+					if round == rounds-1 {
+						delFrac = 0.95 // tombstone-heavy: delete almost everything
+					}
+					s.ApplyBatch(workers, randomBatch(r, n, batchSize, &live, delFrac))
+					dirty := s.Flush(nil)
+					got := refreshDelta(workers, base, s, dirty)
+					want := FromStore(workers, s)
+					graphsEqual(t, fmt.Sprintf("%s round %d (%d dirty)", name, round, len(dirty)), got, want)
+					base = got
+				}
+			})
+		}
+	}
+}
+
+// TestRefreshAllDirty covers the degenerate ends: every vertex dirty
+// (the exported Refresh falls back to FromStore past the threshold, and
+// the delta path must still be exact when forced), and no vertex dirty
+// (base is returned unchanged).
+func TestRefreshAllDirty(t *testing.T) {
+	const n = 256
+	s := dyngraph.NewTracked(dyngraph.NewHybrid(n, 8*n, 8, 5))
+	r := xrand.New(77)
+	var live []edge.Edge
+	s.ApplyBatch(2, randomBatch(r, n, 2048, &live, 0))
+	s.Flush(nil)
+	base := FromStore(2, s)
+
+	// Touch every vertex.
+	batch := make([]edge.Update, n)
+	for u := 0; u < n; u++ {
+		e := edge.Edge{U: uint32(u), V: uint32((u + 1) % n), T: 7}
+		batch[u] = edge.Update{Edge: e, Op: edge.Insert}
+	}
+	s.ApplyBatch(2, batch)
+	dirty := s.Flush(nil)
+	if len(dirty) != n {
+		t.Fatalf("dirty = %d vertices, want %d", len(dirty), n)
+	}
+	want := FromStore(2, s)
+	graphsEqual(t, "all-dirty forced delta", refreshDelta(2, base, s, dirty), want)
+	graphsEqual(t, "all-dirty fallback", Refresh(2, base, s, dirty), want)
+
+	// Empty dirty set: the previous snapshot is shared, not copied.
+	next := Refresh(2, want, s, nil)
+	if next != want {
+		t.Fatal("Refresh with empty dirty set must return base unchanged")
+	}
+
+	// Nil base: full rebuild.
+	graphsEqual(t, "nil base", Refresh(2, nil, s, dirty), want)
+}
+
+// TestRefreshThreshold pins the fallback boundary.
+func TestRefreshThreshold(t *testing.T) {
+	const n = 1000
+	s := dyngraph.NewTracked(dyngraph.NewDynArr(n, 4*n))
+	for u := 0; u < n; u++ {
+		s.Insert(uint32(u), uint32((u+7)%n), uint32(u+1))
+	}
+	s.Flush(nil)
+	base := FromStore(1, s)
+
+	over := int(RefreshMaxDirtyFrac*float64(n)) + 1
+	batch := make([]edge.Update, over)
+	for i := 0; i < over; i++ {
+		batch[i] = edge.Update{Edge: edge.Edge{U: uint32(i), V: uint32((i + 3) % n), T: 42}, Op: edge.Insert}
+	}
+	s.ApplyBatch(1, batch)
+	dirty := s.Flush(nil)
+	got := Refresh(1, base, s, dirty)
+	want := FromStore(1, s)
+	graphsEqual(t, "over-threshold", got, want)
+}

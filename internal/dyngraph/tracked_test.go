@@ -1,0 +1,110 @@
+package dyngraph
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"snapdyn/internal/edge"
+)
+
+func TestTrackedMarksMutations(t *testing.T) {
+	s := NewTracked(NewDynArr(64, 256))
+	if s.DirtyCount() != 0 {
+		t.Fatalf("fresh store dirty count = %d, want 0", s.DirtyCount())
+	}
+	s.Insert(3, 4, 1)
+	s.Insert(3, 5, 2)
+	s.Insert(10, 3, 3)
+	if got := s.DirtyCount(); got != 2 {
+		t.Fatalf("dirty count = %d, want 2 (vertices, not mutations)", got)
+	}
+	if d := s.Dirty(nil); len(d) != 2 || d[0] != 3 || d[1] != 10 {
+		t.Fatalf("Dirty = %v, want [3 10]", d)
+	}
+
+	got := s.Flush(nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 10 {
+		t.Fatalf("Flush = %v, want [3 10]", got)
+	}
+	if s.DirtyCount() != 0 {
+		t.Fatalf("dirty count after flush = %d, want 0", s.DirtyCount())
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", s.Epoch())
+	}
+
+	// Deleting an absent edge must not dirty the vertex; deleting a
+	// present one must.
+	if s.Delete(20, 21) {
+		t.Fatal("delete of absent edge reported success")
+	}
+	if s.DirtyCount() != 0 {
+		t.Fatalf("failed delete dirtied a vertex: %v", s.Dirty(nil))
+	}
+	if !s.DeleteTuple(3, 4, 1) {
+		t.Fatal("delete of present tuple failed")
+	}
+	if d := s.Flush(nil); len(d) != 1 || d[0] != 3 {
+		t.Fatalf("Flush after delete = %v, want [3]", d)
+	}
+}
+
+func TestTrackedApplyBatchMarksSources(t *testing.T) {
+	for _, mk := range []func() Store{
+		func() Store { return NewDynArr(128, 512) },
+		func() Store { return NewBatched(NewHybrid(128, 512, 4, 7)) },
+		func() Store { return NewVpart(128, 512) },
+	} {
+		s := NewTracked(mk())
+		batch := []edge.Update{
+			{Edge: edge.Edge{U: 1, V: 2, T: 5}, Op: edge.Insert},
+			{Edge: edge.Edge{U: 7, V: 2, T: 5}, Op: edge.Insert},
+			{Edge: edge.Edge{U: 1, V: 9, T: 6}, Op: edge.Insert},
+			{Edge: edge.Edge{U: 50, V: 1, T: 6}, Op: edge.Delete}, // no-op delete
+		}
+		s.ApplyBatch(2, batch)
+		d := s.Flush(nil)
+		want := []uint32{1, 7, 50} // batch marking is conservative
+		if len(d) != len(want) {
+			t.Fatalf("%s: Flush = %v, want %v", s.Name(), d, want)
+		}
+		for i := range want {
+			if d[i] != want[i] {
+				t.Fatalf("%s: Flush = %v, want %v", s.Name(), d, want)
+			}
+		}
+	}
+}
+
+func TestTrackedConcurrentMarking(t *testing.T) {
+	const n = 1 << 12
+	s := NewTracked(NewDynArr(n, 8*n))
+	var wg sync.WaitGroup
+	workers := 8
+	per := n / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				u := edge.ID(w*per + i)
+				s.Insert(u, (u+1)%n, uint32(i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.DirtyCount(); got != n {
+		t.Fatalf("dirty count = %d, want %d", got, n)
+	}
+	d := s.Flush(nil)
+	if len(d) != n {
+		t.Fatalf("flush returned %d vertices, want %d", len(d), n)
+	}
+	if !sort.SliceIsSorted(d, func(i, j int) bool { return d[i] < d[j] }) {
+		t.Fatal("flush output not sorted")
+	}
+	if s.DirtyCount() != 0 {
+		t.Fatalf("dirty count after flush = %d, want 0", s.DirtyCount())
+	}
+}

@@ -177,3 +177,20 @@ func GroupRanges(keys []uint32, fn func(key uint32, lo, hi int)) {
 		lo = hi
 	}
 }
+
+// SearchOffsets returns the largest index i with offsets[i] <= pos, for
+// an ascending prefix-sum array as produced by ExclusiveScan — the
+// inversion edge-partitioned kernels use to map a worker's arc offset
+// back to the vertex owning it.
+func SearchOffsets(offsets []int64, pos int64) int {
+	lo, hi := 0, len(offsets)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if offsets[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

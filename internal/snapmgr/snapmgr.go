@@ -1,0 +1,75 @@
+// Package snapmgr couples a dirty-tracked dynamic store to an
+// epoch-versioned sequence of immutable CSR snapshots — the core of the
+// incremental snapshot pipeline. It is RCU-shaped: any number of reader
+// goroutines load the current snapshot with one atomic pointer read and
+// traverse it without coordination, while a single refresher
+// materializes the next snapshot from the store's dirty set
+// (csr.Refresh) and publishes it with one atomic pointer store. Old
+// snapshots stay valid for the readers still holding them and are
+// reclaimed by the garbage collector once the last reference drops —
+// there is no explicit release.
+package snapmgr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/dyngraph"
+)
+
+// Manager versions snapshots of one tracked store. Current, Epoch, and
+// Staleness may be called from any goroutine at any time; Refresh calls
+// serialize on an internal mutex and must not run concurrently with
+// store mutations (reading the current snapshot during ingest is always
+// safe — that is the point).
+type Manager struct {
+	store *dyngraph.Tracked
+	cur   atomic.Pointer[csr.Graph]
+	epoch atomic.Uint64
+
+	mu    sync.Mutex
+	dirty []uint32 // reused Flush buffer, guarded by mu
+}
+
+// New builds the initial snapshot (a full FromStore materialization of
+// everything inserted so far) and returns the manager at epoch 1.
+func New(workers int, store *dyngraph.Tracked) *Manager {
+	m := &Manager{store: store}
+	m.Refresh(workers)
+	return m
+}
+
+// Store returns the tracked store the manager materializes.
+func (m *Manager) Store() *dyngraph.Tracked { return m.store }
+
+// Current returns the latest published snapshot: one atomic load, never
+// blocking, safe during concurrent Refresh. The returned graph is
+// immutable.
+func (m *Manager) Current() *csr.Graph { return m.cur.Load() }
+
+// Epoch returns the number of published materializations; it increases
+// monotonically, by exactly one per Refresh.
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// Staleness returns the number of vertices whose adjacency changed
+// since the snapshot Current returns was cut — the dirty-set size the
+// next Refresh will consume.
+func (m *Manager) Staleness() int { return m.store.DirtyCount() }
+
+// Refresh materializes and publishes a new snapshot covering every
+// update applied so far: it consumes the store's dirty set and rebuilds
+// only those adjacencies, reusing the clean spans of the previous
+// snapshot (falling back to a full rebuild past the dirty-fraction
+// threshold). When nothing changed, the previous snapshot is
+// republished unchanged. Concurrent Refresh calls serialize; the epoch
+// advances once per call.
+func (m *Manager) Refresh(workers int) *csr.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty = m.store.Flush(m.dirty[:0])
+	g := csr.Refresh(workers, m.cur.Load(), m.store, m.dirty)
+	m.cur.Store(g)
+	m.epoch.Add(1)
+	return g
+}

@@ -8,6 +8,7 @@ import (
 	"snapdyn/internal/edge"
 	"snapdyn/internal/frontier"
 	"snapdyn/internal/par"
+	"snapdyn/internal/psort"
 	"snapdyn/internal/wcsr"
 )
 
@@ -17,9 +18,11 @@ import (
 // largest weight.
 const maxRing = 1 << 12
 
-// serialBatch is the batch size below which a relaxation phase runs
-// serially: the goroutine fan-out costs more than the relaxations.
-const serialBatch = 128
+// serialArcs is the phase size — in arcs, not vertices — below which a
+// relaxation phase runs serially: the goroutine fan-out costs more than
+// the relaxations. Measuring in arcs keeps a small batch containing one
+// hub on the parallel path.
+const serialArcs = 1024
 
 // Scratch is the reusable arena for delta-stepping: the distance array,
 // the cached weighted graph view, the cyclic bucket ring with its
@@ -52,6 +55,7 @@ type Scratch struct {
 	overflow []uint32
 	settled  []uint32
 	batch    []uint32
+	offsets  []int64 // prefix-summed batch degrees (parallel phases)
 
 	ex *exec
 }
@@ -317,18 +321,47 @@ type exec struct {
 	workers int
 	batch   []uint32
 
+	offsets   []int64 // prefix-summed phase degrees, one entry per batch vertex
+	totalWork int64   // arcs in the current phase
+
 	light func(lo, hi int)
 	heavy func(lo, hi int)
 }
 
-// runPhase relaxes the batch's light or heavy arcs. Small batches (and
+// runPhase relaxes the batch's light or heavy arcs. The parallel path
+// partitions the phase's work by *arcs* — a prefix sum over the batch's
+// light (or heavy) degrees lets each worker claim an equal slice of
+// arcs, exactly as the traversal engine partitions a frontier — so one
+// hub vertex in a batch cannot serialize the phase. Small phases (and
 // single-worker runs) take the serial path: no goroutine fan-out, no
 // atomics.
 func (e *exec) runPhase(light bool) {
-	// The batch must cover every worker: par.BlockIndex inverts
-	// ForBlock's partitioning only when ForBlock doesn't clamp the
-	// worker count.
-	if e.workers == 1 || len(e.batch) < serialBatch || len(e.batch) < e.workers {
+	if e.workers == 1 {
+		e.serialPhase(light)
+		return
+	}
+	wg := e.wg
+	offsets := e.sc.offsets[:0]
+	if light {
+		for _, u := range e.batch {
+			offsets = append(offsets, wg.LightEnd[u]-wg.Offsets[u])
+		}
+	} else {
+		for _, u := range e.batch {
+			offsets = append(offsets, wg.Offsets[u+1]-wg.LightEnd[u])
+		}
+	}
+	offsets = append(offsets, 0)
+	e.sc.offsets = offsets
+	e.offsets = offsets
+	e.totalWork = psort.ExclusiveScan(e.workers, offsets)
+	if e.totalWork == 0 {
+		return
+	}
+	// par.BlockIndex inverts ForBlock's partitioning only when ForBlock
+	// doesn't clamp the worker count, hence the totalWork >= workers
+	// requirement on the parallel path.
+	if e.totalWork < serialArcs || e.totalWork < int64(e.workers) {
 		e.serialPhase(light)
 		return
 	}
@@ -336,7 +369,7 @@ func (e *exec) runPhase(light bool) {
 	if light {
 		body = e.light
 	}
-	par.ForBlock(e.workers, len(e.batch), body)
+	par.ForBlock(e.workers, int(e.totalWork), body)
 }
 
 // serialPhase is the single-owner relaxation loop: plain loads and
@@ -364,36 +397,62 @@ func (e *exec) serialPhase(light bool) {
 }
 
 // lightBody is the parallel light-arc relaxation: lock-free CAS
-// relaxation over the pre-partitioned light prefix of each batch
-// vertex's adjacency.
+// relaxation over the worker's arc slice [lo, hi) of the batch's
+// concatenated light prefixes. A vertex whose prefix straddles a block
+// boundary is relaxed by both neighbors, each over its own arc
+// sub-range.
 func (e *exec) lightBody(lo, hi int) {
-	wg, dist := e.wg, e.dist
-	w := par.BlockIndex(e.workers, len(e.batch), lo)
+	wg, dist, offsets, batch := e.wg, e.dist, e.offsets, e.batch
+	w := par.BlockIndex(e.workers, int(e.totalWork), lo)
 	local := e.sc.out.Take(w)
-	for _, u := range e.batch[lo:hi] {
+	vi := psort.SearchOffsets(offsets, int64(lo))
+	for pos := int64(lo); pos < int64(hi); {
+		for offsets[vi+1] <= pos {
+			vi++
+		}
+		u := batch[vi]
+		abase := wg.Offsets[u]
+		base := abase + (pos - offsets[vi])
+		end := abase + (offsets[vi+1] - offsets[vi])
+		if stop := abase + (int64(hi) - offsets[vi]); stop < end {
+			end = stop
+		}
 		du := atomic.LoadInt64(&dist[u])
-		alo, ahi := wg.Offsets[u], wg.LightEnd[u]
-		for p := alo; p < ahi; p++ {
+		for p := base; p < end; p++ {
 			local = relax(dist, wg.Adj[p], du+int64(wg.W[p]), local)
 		}
+		pos = end - abase + offsets[vi]
 	}
 	e.sc.out.Put(w, local)
 }
 
-// heavyBody is the parallel heavy-arc relaxation over the heavy suffix.
+// heavyBody is the parallel heavy-arc relaxation over the batch's
+// concatenated heavy suffixes, partitioned like lightBody.
 func (e *exec) heavyBody(lo, hi int) {
-	wg, dist := e.wg, e.dist
-	w := par.BlockIndex(e.workers, len(e.batch), lo)
+	wg, dist, offsets, batch := e.wg, e.dist, e.offsets, e.batch
+	w := par.BlockIndex(e.workers, int(e.totalWork), lo)
 	local := e.sc.out.Take(w)
-	for _, u := range e.batch[lo:hi] {
+	vi := psort.SearchOffsets(offsets, int64(lo))
+	for pos := int64(lo); pos < int64(hi); {
+		for offsets[vi+1] <= pos {
+			vi++
+		}
+		u := batch[vi]
+		abase := wg.LightEnd[u]
+		base := abase + (pos - offsets[vi])
+		end := abase + (offsets[vi+1] - offsets[vi])
+		if stop := abase + (int64(hi) - offsets[vi]); stop < end {
+			end = stop
+		}
 		du := atomic.LoadInt64(&dist[u])
-		alo, ahi := wg.LightEnd[u], wg.Offsets[u+1]
-		for p := alo; p < ahi; p++ {
+		for p := base; p < end; p++ {
 			local = relax(dist, wg.Adj[p], du+int64(wg.W[p]), local)
 		}
+		pos = end - abase + offsets[vi]
 	}
 	e.sc.out.Put(w, local)
 }
+
 
 // relax attempts dist[v] = min(dist[v], nd) with a CAS loop; the winning
 // worker records the improvement in its local bucket.

@@ -1,6 +1,7 @@
 package sssp
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -139,6 +140,34 @@ func TestDeltaSteppingProperty(t *testing.T) {
 	}, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestDeltaSteppingHubBatch exercises the edge-partitioned relaxation
+// phases: a star graph puts one hub with thousands of arcs into a
+// one-vertex batch, which the arc prefix sum must split across workers
+// (the old vertex partitioning would serialize it), including the
+// straddling-block bookkeeping at every worker boundary.
+func TestDeltaSteppingHubBatch(t *testing.T) {
+	const n = 5000
+	var es []edge.Edge
+	for v := 1; v < n; v++ {
+		// Spoke weights vary so light and heavy phases both split the hub.
+		es = append(es, edge.Edge{U: 0, V: uint32(v), T: uint32(1 + v%40)})
+	}
+	g := csr.FromEdges(0, n, es, true)
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, delta := range []int64{1, 10, 50} {
+			got := DeltaStepping(workers, g, 0, LabelWeights, delta)
+			assertMatchesDijkstra(t, g, 0, got,
+				fmt.Sprintf("star w=%d delta=%d", workers, delta))
+		}
+	}
+	// Hub in the middle of a larger batch: a path into the hub plus the
+	// spokes, traversed from the path end.
+	es = append(es, edge.Edge{U: uint32(n - 1), V: 0, T: 3})
+	g = csr.FromEdges(0, n, es, true)
+	got := DeltaStepping(4, g, uint32(n-1), LabelWeights, 25)
+	assertMatchesDijkstra(t, g, uint32(n-1), got, "hub mid-batch")
 }
 
 // assertMatchesDijkstra checks a delta-stepping result against the

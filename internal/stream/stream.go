@@ -29,17 +29,44 @@ func Inserts(edges []edge.Edge) []edge.Update {
 // Deletions samples count random deletions of existing edges (without
 // replacement) from an edge list, the Figure 5 workload ("20 million
 // random deletions after constructing this network").
+//
+// Small samples (count << len(edges)) run the partial Fisher-Yates over
+// a map-backed sparse permutation holding only the displaced entries —
+// O(count) time and space instead of the O(m) index copy — while large
+// samples keep the dense index array. Both paths draw the same random
+// sequence, so a given (edges, count, seed) yields identical output
+// regardless of which is taken.
 func Deletions(edges []edge.Edge, count int, seed uint64) []edge.Update {
 	if count > len(edges) {
 		count = len(edges)
 	}
 	r := xrand.New(seed)
-	// Partial Fisher-Yates over a copy of the index space.
+	ups := make([]edge.Update, count)
+	if count < len(edges)/8 {
+		// Sparse permutation: disp[k] is the value a dense partial
+		// Fisher-Yates would hold at index k where it differs from the
+		// identity. Only swapped-to indices (at most count of them past
+		// the sampled prefix) are materialized.
+		disp := make(map[int32]int32, 2*count)
+		at := func(k int32) int32 {
+			if v, ok := disp[k]; ok {
+				return v
+			}
+			return k
+		}
+		for i := 0; i < count; i++ {
+			j := int32(i + r.Intn(len(edges)-i))
+			vi, vj := at(int32(i)), at(j)
+			disp[j] = vi
+			ups[i] = edge.Update{Edge: edges[vj], Op: edge.Delete}
+		}
+		return ups
+	}
+	// Dense partial Fisher-Yates over a copy of the index space.
 	idx := make([]int32, len(edges))
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	ups := make([]edge.Update, count)
 	for i := 0; i < count; i++ {
 		j := i + r.Intn(len(idx)-i)
 		idx[i], idx[j] = idx[j], idx[i]

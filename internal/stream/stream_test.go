@@ -53,6 +53,39 @@ func TestDeletionsSampleExistingWithoutReplacement(t *testing.T) {
 	}
 }
 
+func TestDeletionsSparseMatchesDense(t *testing.T) {
+	edges := sampleEdges(t, 9, 4000, 11)
+	// Both calls replay the identical random sequence (draw i depends
+	// only on i and len(edges)), so the sparse-path sample must be
+	// exactly the dense-path sample's prefix.
+	const small = 200 // < len/8: map-backed sparse permutation
+	dense := Deletions(edges, len(edges)/2, 12)
+	sparse := Deletions(edges, small, 12)
+	if len(sparse) != small {
+		t.Fatalf("len = %d", len(sparse))
+	}
+	for i := range sparse {
+		if sparse[i] != dense[i] {
+			t.Fatalf("sample %d: sparse %v, dense %v", i, sparse[i], dense[i])
+		}
+	}
+}
+
+func TestDeletionsSparseWithoutReplacement(t *testing.T) {
+	edges := sampleEdges(t, 10, 10000, 13)
+	dels := Deletions(edges, 500, 14) // sparse path
+	exists := map[edge.Edge]int{}
+	for _, e := range edges {
+		exists[e]++
+	}
+	for _, d := range dels {
+		if exists[d.Edge] == 0 {
+			t.Fatalf("deletion of non-existent (or over-sampled) edge %v", d.Edge)
+		}
+		exists[d.Edge]--
+	}
+}
+
 func TestDeletionsCapped(t *testing.T) {
 	edges := sampleEdges(t, 6, 50, 4)
 	dels := Deletions(edges, 1000, 5)

@@ -453,7 +453,7 @@ func (e *exec) topDownFastBody(lo, hi int) {
 	var edges int64
 	// Locate the first frontier vertex whose arc range intersects
 	// [lo, hi).
-	vi := searchOffsets(offsets, int64(lo))
+	vi := psort.SearchOffsets(offsets, int64(lo))
 	for pos := int64(lo); pos < int64(hi); {
 		for offsets[vi+1] <= pos {
 			vi++
@@ -502,7 +502,7 @@ func (e *exec) topDownVisitBody(lo, hi int) {
 	w := par.BlockIndex(e.workers, int(e.totalWork), lo)
 	local := e.sc.buckets.Take(w)
 	var edges int64
-	vi := searchOffsets(offsets, int64(lo))
+	vi := psort.SearchOffsets(offsets, int64(lo))
 	for pos := int64(lo); pos < int64(hi); {
 		for offsets[vi+1] <= pos {
 			vi++
@@ -742,16 +742,3 @@ func (e *exec) relaxStepBody(lo, hi int) {
 	}
 }
 
-// searchOffsets returns the largest index i with offsets[i] <= pos.
-func searchOffsets(offsets []int64, pos int64) int {
-	lo, hi := 0, len(offsets)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if offsets[mid] <= pos {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return lo
-}

@@ -1,0 +1,87 @@
+package snapdyn
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"snapdyn/internal/snapmgr"
+)
+
+// SnapshotManager versions immutable snapshots of one live graph so
+// analysis can run concurrently with ingest. It is RCU-shaped:
+//
+//   - Readers call Current — one atomic pointer load, never blocking —
+//     and query the returned Snapshot for as long as they like. A
+//     snapshot already handed out stays valid while newer ones are
+//     published; it is reclaimed by the garbage collector when the last
+//     reader drops it. Readers never coordinate with writers.
+//   - The ingest side applies updates to the Graph as usual and calls
+//     Refresh whenever a fresher snapshot should be published. Refresh
+//     consumes the graph's dirty-vertex set and rebuilds only the
+//     adjacencies that changed since the previous snapshot, reusing all
+//     clean spans (csr.Refresh); past a ~15% dirty fraction it falls
+//     back to a full rebuild, which is cheaper at that point.
+//
+// Refresh calls serialize on an internal mutex and must not run
+// concurrently with graph mutations (apply a batch, then refresh;
+// readers keep querying throughout). Epoch and Staleness report the
+// snapshot's version and lag.
+type SnapshotManager struct {
+	g *Graph
+	m *snapmgr.Manager
+
+	mu sync.Mutex // serializes publish of cur against concurrent Refresh
+	// cur and epoch are published in that order, epoch last, so Epoch()
+	// never runs ahead of the snapshot Current() returns.
+	cur   atomic.Pointer[Snapshot]
+	epoch atomic.Uint64
+}
+
+// Manager builds the initial snapshot with the given worker count and
+// returns the graph's snapshot manager at epoch 1. Creating several
+// managers for one graph is not useful: each Refresh consumes the
+// graph's single dirty set.
+func (g *Graph) Manager(workers int) *SnapshotManager {
+	sm := &SnapshotManager{g: g, m: snapmgr.New(workers, g.store)}
+	sm.cur.Store(&Snapshot{g: sm.m.Current(), undirected: g.undirected})
+	sm.epoch.Store(sm.m.Epoch())
+	return sm
+}
+
+// Current returns the latest published snapshot: one atomic load, safe
+// from any goroutine at any time, including during a concurrent
+// Refresh.
+func (sm *SnapshotManager) Current() *Snapshot { return sm.cur.Load() }
+
+// Epoch returns the number of materializations published so far. It is
+// monotone, advances by exactly one per Refresh (even when nothing
+// changed), and never runs ahead of the snapshot Current returns.
+func (sm *SnapshotManager) Epoch() uint64 { return sm.epoch.Load() }
+
+// Staleness returns the number of vertices dirtied since the last
+// Refresh began consuming updates — the work the next Refresh will do.
+// With no Refresh in flight, zero means Current is exact; while one is
+// materializing, a zero refers to the snapshot about to be published
+// (the in-flight Refresh has already claimed the dirty set).
+func (sm *SnapshotManager) Staleness() int { return sm.m.Staleness() }
+
+// Refresh materializes a snapshot covering every update applied so far
+// and publishes it, returning the new current snapshot. Incremental:
+// cost is proportional to the dirty-vertex set, not the graph (see the
+// type comment for the fallback threshold). When no updates arrived
+// since the last Refresh the previous snapshot is republished
+// unchanged. Must not run concurrently with mutations of the graph;
+// concurrent readers are unaffected.
+func (sm *SnapshotManager) Refresh(workers int) *Snapshot {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	old := sm.cur.Load()
+	g := sm.m.Refresh(workers)
+	snap := old
+	if old == nil || old.g != g {
+		snap = &Snapshot{g: g, undirected: sm.g.undirected}
+		sm.cur.Store(snap)
+	}
+	sm.epoch.Store(sm.m.Epoch())
+	return snap
+}

@@ -1,0 +1,208 @@
+package snapdyn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSnapshotManagerBasics(t *testing.T) {
+	g := New(64, WithExpectedEdges(512))
+	g.InsertEdge(1, 2, 10)
+	g.InsertEdge(2, 3, 20)
+
+	m := g.Manager(2)
+	if m.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", m.Epoch())
+	}
+	if m.Staleness() != 0 {
+		t.Fatalf("initial staleness = %d, want 0", m.Staleness())
+	}
+	s0 := m.Current()
+	if s0.NumEdges() != 2 {
+		t.Fatalf("initial snapshot has %d arcs, want 2", s0.NumEdges())
+	}
+
+	// No updates: Refresh republishes the same snapshot, epoch advances.
+	if s := m.Refresh(2); s != s0 || m.Current() != s0 {
+		t.Fatal("no-op Refresh must republish the previous snapshot")
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch after no-op refresh = %d, want 2", m.Epoch())
+	}
+
+	// Updates dirty their sources; Refresh folds them in, old snapshot
+	// stays queryable.
+	g.InsertEdge(1, 5, 30)
+	g.DeleteEdgeAt(2, 3, 20)
+	if m.Staleness() != 2 {
+		t.Fatalf("staleness = %d, want 2", m.Staleness())
+	}
+	s1 := m.Refresh(2)
+	if m.Staleness() != 0 {
+		t.Fatalf("staleness after refresh = %d, want 0", m.Staleness())
+	}
+	if s1 == s0 {
+		t.Fatal("refresh after updates must publish a new snapshot")
+	}
+	if got := s1.OutDegree(1); got != 2 {
+		t.Fatalf("new snapshot degree(1) = %d, want 2", got)
+	}
+	if got := s1.OutDegree(2); got != 0 {
+		t.Fatalf("new snapshot degree(2) = %d, want 0", got)
+	}
+	// RCU: the old snapshot still reflects its epoch.
+	if got := s0.OutDegree(2); got != 1 {
+		t.Fatalf("old snapshot degree(2) = %d, want 1 (immutable)", got)
+	}
+}
+
+func TestSnapshotManagerMatchesFullSnapshot(t *testing.T) {
+	const n = 1 << 10
+	edges, err := GenerateRMAT(0, PaperRMAT(10, 8*n, 100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := GenerateRMAT(0, PaperRMAT(10, 8*n, 100, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(n, WithExpectedEdges(2*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	m := g.Manager(0)
+
+	ups, err := MixedStream(edges, extra, len(extra)/4, 0.75, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range StreamBatches(ups, 2048) {
+		g.ApplyUpdates(0, batch)
+		m.Refresh(0)
+	}
+	inc, full := m.Current(), g.Snapshot(0)
+	if inc.NumEdges() != full.NumEdges() {
+		t.Fatalf("incremental snapshot has %d arcs, full rebuild %d", inc.NumEdges(), full.NumEdges())
+	}
+	for u := VertexID(0); int(u) < n; u++ {
+		ia, it := inc.Neighbors(u)
+		fa, ft := full.Neighbors(u)
+		if len(ia) != len(fa) {
+			t.Fatalf("vertex %d: %d arcs incremental, %d full", u, len(ia), len(fa))
+		}
+		for i := range ia {
+			if ia[i] != fa[i] || it[i] != ft[i] {
+				t.Fatalf("vertex %d arc %d: (%d@%d) incremental, (%d@%d) full",
+					u, i, ia[i], it[i], fa[i], ft[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotManagerConcurrentReaders hammers the manager with
+// concurrent Current()+BFS readers while the ingest side applies
+// batches and refreshes repeatedly. Run under -race in CI. Readers
+// assert they never observe a torn snapshot (structural invariants and
+// a full traversal over every snapshot they load) and that epochs are
+// monotone.
+func TestSnapshotManagerConcurrentReaders(t *testing.T) {
+	const (
+		n       = 1 << 9
+		readers = 4
+		rounds  = 30
+	)
+	edges, err := GenerateRMAT(0, PaperRMAT(9, 8*n, 50, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := GenerateRMAT(0, PaperRMAT(9, 8*n, 50, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(n, WithExpectedEdges(2*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	m := g.Manager(2)
+
+	stop := make(chan struct{})
+	var torn atomic.Int32
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint32) {
+			defer wg.Done()
+			tr := (*Traverser)(nil)
+			last := (*Snapshot)(nil)
+			src := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Current()
+				if s == nil {
+					torn.Add(1)
+					return
+				}
+				// Structural invariants of a well-formed snapshot.
+				if s.NumVertices() != n || s.OutDegree(VertexID(n-1)) < 0 {
+					torn.Add(1)
+					return
+				}
+				if s != last {
+					tr, last = s.Traverser(BFSOptions{Workers: 1}), s
+				}
+				res := tr.BFS(VertexID(src % n))
+				if len(res.Level) != n {
+					torn.Add(1)
+					return
+				}
+				src = src*1664525 + 1013904223
+			}
+		}(uint32(r + 1))
+	}
+
+	// Epoch monotonicity observer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := m.Epoch()
+			if e < last {
+				torn.Add(1)
+				return
+			}
+			last = e
+		}
+	}()
+
+	ups, err := MixedStream(edges, extra, len(extra)/2, 0.75, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := StreamBatches(ups, len(ups)/rounds+1)
+	startEpoch := m.Epoch()
+	for _, batch := range batches {
+		g.ApplyUpdates(2, batch)
+		m.Refresh(2)
+	}
+	close(stop)
+	wg.Wait()
+
+	if torn.Load() != 0 {
+		t.Fatalf("%d readers observed a torn snapshot or non-monotone epoch", torn.Load())
+	}
+	if got := m.Epoch(); got != startEpoch+uint64(len(batches)) {
+		t.Fatalf("epoch = %d, want %d", got, startEpoch+uint64(len(batches)))
+	}
+	// The final snapshot equals a full rebuild.
+	inc, full := m.Current(), g.Snapshot(0)
+	if inc.NumEdges() != full.NumEdges() {
+		t.Fatalf("final snapshot has %d arcs, full rebuild %d", inc.NumEdges(), full.NumEdges())
+	}
+}
