@@ -401,7 +401,7 @@ func BenchmarkSnapshotRefresh(b *testing.B) {
 	}
 	build := func(b *testing.B) *Graph {
 		b.Helper()
-		g := New(n, WithExpectedEdges(2 * len(edges)))
+		g := New(n, WithExpectedEdges(2*len(edges)))
 		g.InsertEdges(0, edges)
 		return g
 	}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts ns/op samples per benchmark name from `go test
+// -bench` output. A result line looks like
+//
+//	BenchmarkFoo/sub-8   	     100	  11915144 ns/op	 550.4 MTEPS
+//
+// name, iteration count, then value/unit pairs. Lines that do not
+// match (headers, PASS, metrics-only lines) are skipped. Repeated
+// names (-count=N) accumulate samples.
+func parseBench(out string) map[string][]float64 {
+	runs := make(map[string][]float64)
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			if f[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			runs[f[0]] = append(runs[f[0]], v)
+			break
+		}
+	}
+	return runs
+}
+
+// median of samples (input order irrelevant; the slice is not mutated).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// compare renders a delta table over the benchmarks present in both
+// runs and reports whether any median ns/op regressed by more than
+// maxRegressPct. Benchmarks on only one side are listed but never
+// gate: a new benchmark has no baseline, a removed one no head.
+func compare(oldRuns, newRuns map[string][]float64, maxRegressPct float64) (string, bool) {
+	var names []string
+	for name := range oldRuns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	failed := false
+	fmt.Fprintf(&b, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		oldMed := median(oldRuns[name])
+		newSamples, ok := newRuns[name]
+		if !ok {
+			fmt.Fprintf(&b, "%-52s %14.0f %14s %9s\n", name, oldMed, "-", "gone")
+			continue
+		}
+		newMed := median(newSamples)
+		delta := 100 * (newMed - oldMed) / oldMed
+		mark := ""
+		if delta > maxRegressPct {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %+8.1f%%%s\n", name, oldMed, newMed, delta, mark)
+	}
+	var added []string
+	for name := range newRuns {
+		if _, ok := oldRuns[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(&b, "%-52s %14s %14.0f %9s\n", name, "-", median(newRuns[name]), "new")
+	}
+	if failed {
+		fmt.Fprintf(&b, "FAIL: ns/op regression above %.0f%%\n", maxRegressPct)
+	} else {
+		fmt.Fprintf(&b, "ok: no ns/op regression above %.0f%%\n", maxRegressPct)
+	}
+	return b.String(), failed
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: snapdyn
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkBFSDirectionOpt-8   	       5	   2312886 ns/op	       566.5 MTEPS	       0 B/op	       0 allocs/op
+BenchmarkBFSDirectionOpt-8   	       5	   2400000 ns/op	       550.0 MTEPS	       0 B/op	       0 allocs/op
+BenchmarkBFSDirectionOpt-8   	       5	   2200000 ns/op	       580.0 MTEPS	       0 B/op	       0 allocs/op
+BenchmarkServiceQuery/bfs-8  	       1	  11915144 ns/op	       550.4 MTEPS
+PASS
+ok  	snapdyn	1.152s
+`
+
+func TestParseBench(t *testing.T) {
+	runs := parseBench(sampleOut)
+	if len(runs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(runs), runs)
+	}
+	if got := runs["BenchmarkBFSDirectionOpt-8"]; len(got) != 3 {
+		t.Fatalf("samples = %v, want 3 entries", got)
+	}
+	if got := runs["BenchmarkServiceQuery/bfs-8"]; len(got) != 1 || got[0] != 11915144 {
+		t.Fatalf("sub-benchmark samples = %v", got)
+	}
+	if len(parseBench("PASS\nok 0.1s\n")) != 0 {
+		t.Fatal("no-result output must parse to empty")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v, want 2", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v, want 0", m)
+	}
+	// The input must not be reordered.
+	in := []float64{9, 1, 5}
+	median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatalf("median mutated its input: %v", in)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	old := map[string][]float64{
+		"BenchmarkA":    {100, 110, 105},
+		"BenchmarkB":    {1000, 1000},
+		"BenchmarkGone": {50},
+	}
+	// A regresses 30%, B improves; C is new.
+	niu := map[string][]float64{
+		"BenchmarkA": {140, 135, 136},
+		"BenchmarkB": {800, 820},
+		"BenchmarkC": {10},
+	}
+	report, failed := compare(old, niu, 20)
+	if !failed {
+		t.Fatalf("expected failure, report:\n%s", report)
+	}
+	for _, want := range []string{"REGRESSION", "BenchmarkGone", "gone", "BenchmarkC", "new", "FAIL"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Within threshold: 30% regression passes a 40% gate.
+	report, failed = compare(old, niu, 40)
+	if failed {
+		t.Fatalf("40%% gate should pass, report:\n%s", report)
+	}
+	if !strings.Contains(report, "ok: no ns/op regression above 40%") {
+		t.Fatalf("report missing ok line:\n%s", report)
+	}
+
+	// Improvements and new benchmarks never fail the gate.
+	report, failed = compare(map[string][]float64{"BenchmarkB": {1000}}, niu, 20)
+	if failed {
+		t.Fatalf("improvement-only compare failed:\n%s", report)
+	}
+}

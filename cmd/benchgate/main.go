@@ -1,0 +1,61 @@
+// Command benchgate is the CI benchmark-regression gate: it parses two
+// `go test -bench` outputs (base and head), compares the median ns/op
+// of every benchmark present in both, and exits non-zero when any
+// regresses by more than the threshold. benchstat renders the
+// human-readable comparison artifact; this gate exists so the
+// pass/fail decision is deterministic, dependency-free, and tolerant
+// of benchmarks that exist on only one side (new benchmarks are never
+// a regression).
+//
+// Usage:
+//
+//	go test -run=NONE -bench=... -count=5 . | tee base.txt   # at the base commit
+//	go test -run=NONE -bench=... -count=5 . | tee head.txt   # at the head commit
+//	benchgate -old base.txt -new head.txt -max-regress 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "base `go test -bench` output (required)")
+		newPath = flag.String("new", "", "head `go test -bench` output (required)")
+		maxReg  = flag.Float64("max-regress", 20, "max allowed ns/op regression in percent")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	oldRuns, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	newRuns, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	report, failed := compare(oldRuns, newRuns, *maxReg)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func parseFile(path string) (map[string][]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	runs := parseBench(string(data))
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return runs, nil
+}

@@ -24,7 +24,15 @@
 // figure "pipeline" exercises the incremental snapshot pipeline:
 // refresh latency vs dirty fraction against a full rebuild, then
 // sustained mixed ingest/query with -qworkers concurrent BFS/SSSP
-// readers over the epoch-versioned snapshots.
+// readers over the epoch-versioned snapshots. The figure "service"
+// measures the serving stack itself (auto-refreshing manager + pooled
+// query executor, the snapserve configuration): sustained QPS with
+// p50/p99 per-query latency under mixed ingest/query load, sweeping
+// 1..-qworkers concurrent query workers with -qduration of sustained
+// load per point, plus the allocation-churn measurement behind the
+// RCU-by-GC verdict in ROADMAP.md.
+//
+//	snapbench -fig service -scale 16 -qworkers 8 -qduration 2s
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"snapdyn/internal/bench"
 	"snapdyn/internal/timing"
@@ -51,7 +60,8 @@ func main() {
 		delFrac    = flag.Float64("delfrac", 0.075, "fraction of m to delete in figure 5")
 		bfsEngine  = flag.String("bfs", "topdown", "traversal engine for all BFS-shaped kernels (figures 7, 10, 11, kernel): topdown or dirop (direction-optimizing)")
 		kernel     = flag.String("kernel", "bfs", "kernel for the 'kernel' figure: bfs, bc, closeness, or sssp")
-		qworkers   = flag.Int("qworkers", 4, "concurrent query workers for the 'pipeline' figure")
+		qworkers   = flag.Int("qworkers", 4, "concurrent query workers for the 'pipeline' figure; max of the query-worker sweep for 'service'")
+		qduration  = flag.Duration("qduration", time.Second, "sustained-load duration per sweep point for the 'service' figure")
 		deltas     = flag.String("deltas", "", "comma-separated delta-stepping bucket widths to sweep for -kernel=sssp (0 = average-weight heuristic; default just the heuristic)")
 		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
 	)
@@ -118,6 +128,9 @@ func main() {
 		"pipeline": func() *timing.Table {
 			return bench.FigPipeline(cfg, *qworkers)
 		},
+		"service": func() *timing.Table {
+			return bench.FigService(cfg, *qworkers, *qduration)
+		},
 	}
 
 	var order []string
@@ -127,7 +140,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 1..11, kernel, pipeline, or all)", f)
+				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, or all)", f)
 			}
 			order = append(order, f)
 		}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -43,29 +44,51 @@ func (p *pairList) Set(s string) error {
 	return nil
 }
 
-func main() {
+// parseWindow parses a -window value "lo,hi" into its bounds.
+func parseWindow(s string) (lo, hi uint32, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-window wants lo,hi")
+	}
+	l, errLo := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
+	h, errHi := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+	if errLo != nil || errHi != nil {
+		return 0, 0, fmt.Errorf("-window bounds must be unsigned integers")
+	}
+	return uint32(l), uint32(h), nil
+}
+
+// run parses args (without the program name) and executes the queries,
+// writing results to stdout and diagnostics to stderr. It returns the
+// process exit code — separated from main so tests can drive the full
+// flag-parsing and dispatch path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("snapquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphPath  = flag.String("graph", "", "edge list file (required)")
-		undirected = flag.Bool("undirected", true, "treat edges as undirected")
-		stats      = flag.Bool("stats", false, "print graph statistics")
-		components = flag.Bool("components", false, "print component census")
-		bfsSrc     = flag.Int("bfs", -1, "run BFS from this source and print reach/levels")
-		window     = flag.String("window", "", "restrict analysis to time window lo,hi (open interval)")
+		graphPath  = fs.String("graph", "", "edge list file (required)")
+		undirected = fs.Bool("undirected", true, "treat edges as undirected")
+		stats      = fs.Bool("stats", false, "print graph statistics")
+		components = fs.Bool("components", false, "print component census")
+		bfsSrc     = fs.Int("bfs", -1, "run BFS from this source and print reach/levels")
+		window     = fs.String("window", "", "restrict analysis to time window lo,hi (open interval)")
 		connected  pairList
 	)
-	flag.Var(&connected, "connected", "answer a connectivity query u,v (repeatable)")
-	flag.Parse()
+	fs.Var(&connected, "connected", "answer a connectivity query u,v (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *graphPath == "" {
-		fmt.Fprintln(os.Stderr, "snapquery: -graph is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "snapquery: -graph is required")
+		return 2
 	}
 	edges, n, err := loadEdges(*graphPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "snapquery: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "snapquery: %v\n", err)
+		return 2
 	}
-	fmt.Printf("loaded %d edges over %d vertices from %s\n", len(edges), n, *graphPath)
+	fmt.Fprintf(stdout, "loaded %d edges over %d vertices from %s\n", len(edges), n, *graphPath)
 
 	opts := []snapdyn.Option{snapdyn.WithExpectedEdges(2 * len(edges))}
 	if *undirected {
@@ -76,38 +99,47 @@ func main() {
 	snap := g.Snapshot(0)
 
 	if *window != "" {
-		parts := strings.Split(*window, ",")
-		if len(parts) != 2 {
-			fmt.Fprintln(os.Stderr, "snapquery: -window wants lo,hi")
-			os.Exit(2)
+		lo, hi, err := parseWindow(*window)
+		if err != nil {
+			fmt.Fprintf(stderr, "snapquery: %v\n", err)
+			return 2
 		}
-		lo, errLo := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
-		hi, errHi := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
-		if errLo != nil || errHi != nil {
-			fmt.Fprintln(os.Stderr, "snapquery: -window bounds must be unsigned integers")
-			os.Exit(2)
-		}
-		snap = snap.InducedByTime(0, uint32(lo), uint32(hi))
-		fmt.Printf("window (%d,%d): %d arcs remain\n", lo, hi, snap.NumEdges())
+		snap = snap.InducedByTime(0, lo, hi)
+		fmt.Fprintf(stdout, "window (%d,%d): %d arcs remain\n", lo, hi, snap.NumEdges())
 	}
 
 	if *stats {
 		st := g.Stats()
-		fmt.Printf("stats: %v\n", st)
+		fmt.Fprintf(stdout, "stats: %v\n", st)
 	}
 	if *components {
-		fmt.Printf("components: %d\n", snap.ComponentCount(0))
+		fmt.Fprintf(stdout, "components: %d\n", snap.ComponentCount(0))
 	}
 	if *bfsSrc >= 0 {
+		if *bfsSrc >= n {
+			fmt.Fprintf(stderr, "snapquery: -bfs source %d out of range [0,%d)\n", *bfsSrc, n)
+			return 2
+		}
 		res := snap.BFS(0, uint32(*bfsSrc))
-		fmt.Printf("bfs from %d: reached %d vertices in %d levels\n", *bfsSrc, res.Reached, res.Levels)
+		fmt.Fprintf(stdout, "bfs from %d: reached %d vertices in %d levels\n", *bfsSrc, res.Reached, res.Levels)
+	}
+	for _, q := range connected {
+		if int(q[0]) >= n || int(q[1]) >= n {
+			fmt.Fprintf(stderr, "snapquery: -connected %d,%d out of range [0,%d)\n", q[0], q[1], n)
+			return 2
+		}
 	}
 	if len(connected) > 0 {
 		conn := snap.Connectivity(0)
 		for _, q := range connected {
-			fmt.Printf("connected(%d,%d) = %v\n", q[0], q[1], conn.Connected(q[0], q[1]))
+			fmt.Fprintf(stdout, "connected(%d,%d) = %v\n", q[0], q[1], conn.Connected(q[0], q[1]))
 		}
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // loadEdges reads an edge list in either graphio format (text or

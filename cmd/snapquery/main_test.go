@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPairListSet(t *testing.T) {
+	var p pairList
+	for _, s := range []string{"1,2", " 3 , 4 ", "0,0"} {
+		if err := p.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	want := pairList{{1, 2}, {3, 4}, {0, 0}}
+	if len(p) != len(want) {
+		t.Fatalf("p = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("p[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+	if got := p.String(); !strings.Contains(got, "[1 2]") {
+		t.Fatalf("String() = %q, want it to render the pairs", got)
+	}
+
+	for _, bad := range []string{"", "1", "1,2,3", "x,2", "1,y", "-1,2", "99999999999,0"} {
+		var q pairList
+		if err := q.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	lo, hi, err := parseWindow("20,70")
+	if err != nil || lo != 20 || hi != 70 {
+		t.Fatalf("parseWindow(20,70) = (%d,%d,%v)", lo, hi, err)
+	}
+	lo, hi, err = parseWindow(" 1 , 2 ")
+	if err != nil || lo != 1 || hi != 2 {
+		t.Fatalf("parseWindow with spaces = (%d,%d,%v)", lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "1,2,3", "a,2", "1,b", "-1,2"} {
+		if _, _, err := parseWindow(bad); err == nil {
+			t.Fatalf("parseWindow(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+// writeGraph writes a small labeled edge list: a 0-1-2-3 path at times
+// 10, 50, 90 plus an isolated pair 4-5 at time 50.
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	data := "0 1 10\n1 2 50\n2 3 90\n4 5 50\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCLI drives the full flag-parse + dispatch path in-process.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunQueries(t *testing.T) {
+	path := writeGraph(t)
+
+	code, out, errw := runCLI(t, "-graph", path, "-stats", "-components", "-bfs", "0",
+		"-connected", "0,3", "-connected", "0,4", "-connected", "2,2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	for _, want := range []string{
+		"loaded 4 edges over 6 vertices",
+		"components: 2",
+		"bfs from 0: reached 4 vertices in 4 levels",
+		"connected(0,3) = true",
+		"connected(0,4) = false",
+		"connected(2,2) = true",
+		"stats:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWindow(t *testing.T) {
+	path := writeGraph(t)
+
+	// Open interval (20,70): keeps only the t=50 arcs (1-2 and 4-5).
+	code, out, _ := runCLI(t, "-graph", path, "-window", "20,70", "-bfs", "0", "-components")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "window (20,70): 4 arcs remain") {
+		t.Fatalf("window line missing:\n%s", out)
+	}
+	// 0 is isolated inside the window.
+	if !strings.Contains(out, "bfs from 0: reached 1 vertices") {
+		t.Fatalf("windowed BFS wrong:\n%s", out)
+	}
+	// Components over the full vertex set: {1,2}, {4,5}, and the
+	// singletons 0 and 3 whose arcs fall outside the window.
+	if !strings.Contains(out, "components: 4") {
+		t.Fatalf("windowed components wrong:\n%s", out)
+	}
+}
+
+func TestRunDirected(t *testing.T) {
+	path := writeGraph(t)
+	// Directed: BFS follows only forward arcs.
+	code, out, _ := runCLI(t, "-graph", path, "-undirected=false", "-bfs", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "bfs from 3: reached 1 vertices in 1 levels") {
+		t.Fatalf("directed BFS from sink wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeGraph(t)
+
+	if code, _, errw := runCLI(t); code != 2 || !strings.Contains(errw, "-graph is required") {
+		t.Fatalf("missing -graph: code=%d stderr=%q", code, errw)
+	}
+	if code, _, errw := runCLI(t, "-graph", filepath.Join(t.TempDir(), "absent.txt")); code != 2 || errw == "" {
+		t.Fatalf("absent file: code=%d stderr=%q", code, errw)
+	}
+	if code, _, errw := runCLI(t, "-graph", path, "-window", "nope"); code != 2 || !strings.Contains(errw, "-window") {
+		t.Fatalf("bad window: code=%d stderr=%q", code, errw)
+	}
+	if code, _, errw := runCLI(t, "-graph", path, "-bfs", "99"); code != 2 || !strings.Contains(errw, "out of range") {
+		t.Fatalf("bfs out of range: code=%d stderr=%q", code, errw)
+	}
+	if code, _, errw := runCLI(t, "-graph", path, "-connected", "0,99"); code != 2 || !strings.Contains(errw, "out of range") {
+		t.Fatalf("connected out of range: code=%d stderr=%q", code, errw)
+	}
+	if code, _, _ := runCLI(t, "-graph", path, "-connected", "1,2,3"); code != 2 {
+		t.Fatalf("bad -connected parse: code=%d, want 2", code)
+	}
+}

@@ -1,0 +1,181 @@
+// Command snapserve is the concurrent query daemon over the
+// incremental snapshot pipeline: it ingests structural updates over
+// HTTP while serving analysis queries from epoch-versioned immutable
+// snapshots, with refresh decided by a background policy rather than a
+// call site.
+//
+// The initial graph comes from an edge-list file (-graph, rmatgen or
+// plain "u v [t]" format) or is generated in-process (-scale). Updates
+// arrive as JSON batches on /ingest; a background auto-refresher
+// republishes the snapshot whenever the dirty-vertex count crosses
+// -refresh-dirty or the snapshot age crosses -refresh-age. Queries
+// (BFS, delta-stepping SSSP, st-connectivity, connected components)
+// run on a bounded executor pool with per-worker kernel scratch reused
+// across requests; past -qmax executing and -queue waiting queries,
+// requests are shed with 503 so latency stays bounded under overload.
+//
+// Endpoints:
+//
+//	POST /ingest            JSON [{"u":1,"v":2,"t":3,"op":"insert"}, ...]
+//	GET  /query/bfs?src=N
+//	GET  /query/sssp?src=N&delta=D
+//	GET  /query/connected?u=N&v=M
+//	GET  /query/components
+//	GET  /stats
+//	GET  /healthz           epoch, staleness, refresh + admission metrics
+//
+// Example:
+//
+//	snapserve -scale 16 -addr :8080 &
+//	curl 'localhost:8080/query/bfs?src=0'
+//	curl -X POST -d '[{"u":1,"v":2,"t":9}]' localhost:8080/ingest
+//	curl localhost:8080/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/graphio"
+	"snapdyn/internal/qserve"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/snapmgr"
+	"snapdyn/internal/stream"
+)
+
+// config collects everything the service needs to come up; flags parse
+// into it, tests construct it directly.
+type config struct {
+	graphPath  string
+	scale      int
+	edgeFactor int
+	timeMax    uint32
+	seed       uint64
+	undirected bool
+
+	workers      int // ingest + refresh parallelism
+	queryWorkers int // kernel parallelism per query
+	maxQueries   int // concurrent query slots
+	maxQueue     int // waiting queries before shedding
+
+	refreshDirty int
+	refreshAge   time.Duration
+	refreshPoll  time.Duration
+}
+
+// service is a fully assembled serving stack: the tracked store behind
+// an auto-refreshing snapshot manager, the executor pool, and the HTTP
+// handler.
+type service struct {
+	mgr *snapmgr.Manager
+	ex  *qserve.Executor
+	srv *qserve.Server
+}
+
+// buildService loads or generates the graph, builds the manager and
+// executor, and starts the auto-refresher.
+func buildService(cfg config) (*service, error) {
+	var edges []edge.Edge
+	var n int
+	if cfg.graphPath != "" {
+		f, err := os.Open(cfg.graphPath)
+		if err != nil {
+			return nil, err
+		}
+		edges, n, err = graphio.Detect(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", cfg.graphPath, err)
+		}
+	} else {
+		n = 1 << cfg.scale
+		var err error
+		edges, err = rmat.Generate(0, rmat.PaperParams(cfg.scale, cfg.edgeFactor*n, cfg.timeMax, cfg.seed))
+		if err != nil {
+			return nil, fmt.Errorf("generating R-MAT graph: %w", err)
+		}
+	}
+
+	store := dyngraph.NewTracked(dyngraph.NewHybrid(n, 4*len(edges), 0, cfg.seed))
+	ups := stream.Inserts(edges)
+	if cfg.undirected {
+		ups = stream.Mirror(ups)
+	}
+	store.ApplyBatch(cfg.workers, ups)
+
+	mgr := snapmgr.New(cfg.workers, store)
+	mgr.Start(snapmgr.Policy{
+		MaxDirty: cfg.refreshDirty,
+		MaxAge:   cfg.refreshAge,
+		Poll:     cfg.refreshPoll,
+		Workers:  cfg.workers,
+	})
+	ex := qserve.New(mgr, qserve.Config{
+		Workers:       cfg.queryWorkers,
+		MaxConcurrent: cfg.maxQueries,
+		MaxQueue:      cfg.maxQueue,
+		Undirected:    cfg.undirected,
+	})
+	return &service{
+		mgr: mgr,
+		ex:  ex,
+		srv: qserve.NewServer(ex, cfg.undirected, cfg.workers),
+	}, nil
+}
+
+// close stops the background refresher.
+func (s *service) close() { s.mgr.Stop() }
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		graphPath  = flag.String("graph", "", "edge list file (rmatgen or 'u v [t]' lines); empty generates R-MAT")
+		scale      = flag.Int("scale", 14, "R-MAT scale when generating (n = 2^scale)")
+		edgeFactor = flag.Int("edgefactor", 8, "edges per vertex when generating")
+		timeMax    = flag.Uint("tmax", 100, "max time label when generating")
+		seed       = flag.Uint64("seed", 20090525, "random seed")
+		undirected = flag.Bool("undirected", true, "maintain mirror arcs (enables direction-optimizing queries)")
+		workers    = flag.Int("workers", 0, "ingest/refresh parallelism (0 = GOMAXPROCS)")
+		qworkers   = flag.Int("qworkers", 1, "kernel parallelism per query")
+		qmax       = flag.Int("qmax", 0, "max concurrent queries (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "max waiting queries before shedding (0 = 2*qmax)")
+		refDirty   = flag.Int("refresh-dirty", 4096, "auto-refresh when this many vertices are dirty")
+		refAge     = flag.Duration("refresh-age", 500*time.Millisecond, "auto-refresh when the snapshot is this stale with updates pending")
+		refPoll    = flag.Duration("refresh-poll", 0, "auto-refresh trigger poll interval (0 = derived)")
+	)
+	flag.Parse()
+
+	svc, err := buildService(config{
+		graphPath:    *graphPath,
+		scale:        *scale,
+		edgeFactor:   *edgeFactor,
+		timeMax:      uint32(*timeMax),
+		seed:         *seed,
+		undirected:   *undirected,
+		workers:      *workers,
+		queryWorkers: *qworkers,
+		maxQueries:   *qmax,
+		maxQueue:     *queue,
+		refreshDirty: *refDirty,
+		refreshAge:   *refAge,
+		refreshPoll:  *refPoll,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapserve: %v\n", err)
+		os.Exit(2)
+	}
+	defer svc.close()
+
+	st := svc.ex.Stats()
+	fmt.Printf("snapserve: serving %d vertices, %d arcs on %s (epoch %d)\n",
+		st.Vertices, st.Arcs, *addr, st.Epoch)
+	if err := http.ListenAndServe(*addr, svc.srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "snapserve: %v\n", err)
+		os.Exit(1)
+	}
+}

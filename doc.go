@@ -65,14 +65,31 @@
 //     fraction. At R-MAT scale 16 a refresh after dirtying 0.1% of
 //     the vertices runs ~12x faster than the full rebuild it replaces
 //     (BenchmarkSnapshotRefresh).
+//   - A query-serving layer over that pipeline: the SnapshotManager's
+//     background auto-refresher (StartAutoRefresh) republishes by
+//     policy — when the dirty-vertex count or the snapshot age crosses
+//     a threshold — serialized against gated ingest
+//     (SnapshotManager.ApplyUpdates/InsertEdge/DeleteEdge) by a
+//     read-write gate that readers never touch, with refresh-latency
+//     and epoch-lag metrics (SnapshotManager.Metrics). The
+//     internal/qserve executor pool runs BFS / SSSP / st-connectivity /
+//     components / stats queries against the current snapshot with
+//     per-query kernel scratch from a bounded free list (steady-state
+//     queries allocate zero objects per request, asserted) and
+//     queue-or-shed admission control, and cmd/snapserve exposes the
+//     whole stack as an HTTP/JSON daemon with /ingest, /query/*,
+//     /stats, and /healthz endpoints.
 //   - The R-MAT generator and update-stream tooling used by the paper's
 //     evaluation, one benchmark driver per paper figure, a unified
 //     kernel sweep (cmd/snapbench -fig kernel
 //     -kernel=bfs|bc|closeness|sssp) whose -bfs engine choice applies
 //     to every BFS-shaped kernel and whose -deltas flag sweeps the
-//     delta-stepping bucket width, and a mixed ingest/query pipeline
+//     delta-stepping bucket width, a mixed ingest/query pipeline
 //     figure (-fig pipeline) measuring refresh latency vs dirty
-//     fraction and sustained MUPS+MTEPS under concurrent readers.
+//     fraction and sustained MUPS+MTEPS under concurrent readers, and
+//     a serving figure (-fig service) measuring sustained QPS with
+//     p50/p99 per-query latency through the executor pool under
+//     policy-driven refresh.
 //
 // # Quick start
 //
@@ -90,8 +107,13 @@
 // Snapshots are immutable and safe for concurrent queries. A
 // Connectivity index supports concurrent queries; its structural updates
 // (Link/Cut) require external serialization against queries. A
-// SnapshotManager's Current/Epoch/Staleness may be called from any
-// goroutine at any time; Refresh calls serialize among themselves and
-// must not overlap graph mutations (apply a batch, then refresh —
-// readers keep querying throughout).
+// SnapshotManager's Current/Epoch/Staleness/Metrics may be called from
+// any goroutine at any time; Refresh calls serialize among themselves
+// and must not overlap graph mutations (apply a batch, then refresh —
+// readers keep querying throughout). While the background
+// auto-refresher runs (StartAutoRefresh), route mutations through the
+// manager's gated ingest methods (ApplyUpdates, InsertEdge,
+// DeleteEdge) — any number of them proceed concurrently, and the gate
+// serializes them against background refreshes without ever blocking
+// readers.
 package snapdyn

@@ -3,12 +3,14 @@
 // dynamic graph while connectivity structure is monitored — the "queries
 // on massive dynamic interaction data sets" scenario.
 //
-// Analysis runs through a SnapshotManager: the ingest loop applies each
-// batch and republishes an incrementally refreshed snapshot (cost
-// proportional to the vertices the batch touched, not the graph), while
-// a concurrent reader goroutine keeps answering connectivity queries on
-// whatever snapshot is current — it never blocks on ingest, and never
-// sees a half-applied batch.
+// Analysis runs through a SnapshotManager with the background
+// auto-refresher: the ingest loop applies each batch through the
+// manager's gated ApplyUpdates and never calls Refresh — publication is
+// policy (refresh when 2% of the vertices are dirty, or when the
+// snapshot is 25ms stale with updates pending). A concurrent reader
+// goroutine keeps answering connectivity queries on whatever snapshot
+// is current: it never blocks on ingest, and never sees a half-applied
+// batch.
 package main
 
 import (
@@ -48,6 +50,14 @@ func main() {
 	fmt.Printf("bootstrap: %d arcs in %v\n", g.NumEdges(), time.Since(start).Round(time.Millisecond))
 
 	mgr := g.Manager(0)
+	// Refresh is a background policy, not a call site: republish when a
+	// batch dirties 2% of the vertices or the snapshot ages past 25ms
+	// with updates pending.
+	mgr.StartAutoRefresh(snapdyn.AutoRefreshPolicy{
+		MaxDirty: n / 50,
+		MaxAge:   25 * time.Millisecond,
+	})
+	defer mgr.StopAutoRefresh()
 
 	// The RCU read side: one goroutine continuously answers
 	// st-connectivity queries on the current snapshot, concurrent with
@@ -81,23 +91,33 @@ func main() {
 		// Malformed events are routine in interaction logs: filter them.
 		clean, dropped := snapdyn.SanitizeStream(batch, n, true)
 
+		// Batches arrive on a feed, not back to back: the pause is what
+		// lets the policy (not the ingest loop) decide when to publish.
+		time.Sleep(10 * time.Millisecond)
+
 		t0 := time.Now()
-		g.ApplyUpdates(0, clean)
+		// Gated ingest: serialized with the background refresher, never
+		// with readers.
+		mgr.ApplyUpdates(0, clean)
 		applyDur := time.Since(t0)
 
-		stale := mgr.Staleness()
-		t1 := time.Now()
-		snap := mgr.Refresh(0)
-		refreshDur := time.Since(t1)
-
-		comps := snap.ComponentCount(0)
+		comps := mgr.Current().ComponentCount(0)
 		mups := float64(len(clean)) / applyDur.Seconds() / 1e6
 
-		fmt.Printf("batch %d: %6d updates (%d dropped) @ %5.1f MUPS | refresh %6v (epoch %d, %5d dirty) | components=%5d\n",
-			i, len(clean), dropped, mups, refreshDur.Round(time.Microsecond), mgr.Epoch(), stale, comps)
+		fmt.Printf("batch %d: %6d updates (%d dropped) @ %5.1f MUPS | epoch %d (%5d dirty) | components=%5d\n",
+			i, len(clean), dropped, mups, mgr.Epoch(), mgr.Staleness(), comps)
+	}
+
+	// Wait for the refresher to drain, then report its accounting.
+	for mgr.Staleness() != 0 {
+		time.Sleep(time.Millisecond)
 	}
 	close(stop)
 	<-done
+	met := mgr.Metrics()
 	fmt.Printf("concurrent reader answered %d connectivity queries without ever blocking ingest\n", queries.Load())
-	fmt.Printf("final: %v\n", g.Stats())
+	fmt.Printf("auto-refresh: %d publications (%d dirty-triggered, %d age-triggered), last %v, max %v\n",
+		met.AutoRefreshes, met.DirtyTriggered, met.AgeTriggered,
+		met.LastLatency.Round(time.Microsecond), met.MaxLatency.Round(time.Microsecond))
+	fmt.Printf("final: %v (epoch %d)\n", g.Stats(), mgr.Epoch())
 }

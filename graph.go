@@ -108,6 +108,11 @@ func Batched() Option {
 // Every graph tracks the set of vertices whose adjacency changed since
 // the last snapshot materialization (one atomic bit-set per update), so
 // a SnapshotManager can rebuild snapshots incrementally; see Manager.
+// One caveat follows from that pipeline: while a manager's background
+// auto-refresher is running (SnapshotManager.StartAutoRefresh), apply
+// mutations through the manager's gated ingest methods rather than
+// the Graph directly, so they serialize with the background
+// materialization.
 type Graph struct {
 	store      *dyngraph.Tracked
 	undirected bool

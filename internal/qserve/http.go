@@ -1,0 +1,237 @@
+package qserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/stream"
+)
+
+// Server exposes an Executor over HTTP/JSON — the snapserve daemon's
+// handler set. Query endpoints go through the executor's admission
+// control (503 when shed); /ingest applies update batches through the
+// manager's refresh gate, so it is safe concurrently with the
+// background auto-refresher; /healthz and /stats bypass admission so
+// the service stays observable under overload.
+type Server struct {
+	ex *Executor
+	// undirected mirrors ingest batches, matching the facade's
+	// undirected Graph semantics.
+	undirected    bool
+	ingestWorkers int
+}
+
+// NewServer wraps an executor. ingestWorkers is the parallelism of
+// batch application; undirected mirrors every ingested update.
+func NewServer(ex *Executor, undirected bool, ingestWorkers int) *Server {
+	return &Server{ex: ex, undirected: undirected, ingestWorkers: ingestWorkers}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /query/bfs", s.handleBFS)
+	mux.HandleFunc("GET /query/sssp", s.handleSSSP)
+	mux.HandleFunc("GET /query/connected", s.handleConnected)
+	mux.HandleFunc("GET /query/components", s.handleComponents)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	return mux
+}
+
+// IngestUpdate is the wire form of one structural update.
+type IngestUpdate struct {
+	U  uint32 `json:"u"`
+	V  uint32 `json:"v"`
+	T  uint32 `json:"t"`
+	Op string `json:"op"` // "insert" (default) or "delete"
+}
+
+// IngestReply acknowledges a batch.
+type IngestReply struct {
+	Applied   int    `json:"applied"`
+	Epoch     uint64 `json:"epoch"`
+	Staleness int    `json:"staleness"`
+}
+
+// Health is the /healthz body: snapshot version and lag plus refresh
+// and admission activity.
+type Health struct {
+	Status        string   `json:"status"`
+	Epoch         uint64   `json:"epoch"`
+	Staleness     int      `json:"staleness"`
+	SnapshotAgeMs float64  `json:"snapshotAgeMs"`
+	Refreshes     uint64   `json:"refreshes"`
+	AutoRefreshes uint64   `json:"autoRefreshes"`
+	LastRefreshMs float64  `json:"lastRefreshMs"`
+	MaxRefreshMs  float64  `json:"maxRefreshMs"`
+	Counters      Counters `json:"counters"`
+}
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
+	src, err := queryUint32(r, "src")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	reply, err := s.ex.BFS(src)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	src, err := queryUint32(r, "src")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	var delta int64
+	if v := r.URL.Query().Get("delta"); v != "" {
+		delta, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, badParam("delta", err))
+			return
+		}
+	}
+	reply, err := s.ex.SSSP(src, delta)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
+	u, err := queryUint32(r, "u")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	v, err := queryUint32(r, "v")
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	reply, err := s.ex.Connected(u, v)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	reply, err := s.ex.Components()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, reply)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ex.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	met := s.ex.Manager().Metrics()
+	writeJSON(w, Health{
+		Status:        "ok",
+		Epoch:         met.Epoch,
+		Staleness:     met.Staleness,
+		SnapshotAgeMs: durMs(met.Age),
+		Refreshes:     met.Refreshes,
+		AutoRefreshes: met.AutoRefreshes,
+		LastRefreshMs: durMs(met.LastLatency),
+		MaxRefreshMs:  durMs(met.MaxLatency),
+		Counters:      s.ex.Counters(),
+	})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var wire []IngestUpdate
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		httpError(w, badParam("body", err))
+		return
+	}
+	mgr := s.ex.Manager()
+	n := uint32(mgr.Store().NumVertices())
+	batch := make([]edge.Update, len(wire))
+	for i, u := range wire {
+		// Reject out-of-range endpoints up front: past this point the
+		// store trusts its indices, so a bad vertex would corrupt or
+		// crash the shared structure, not just this request.
+		if u.U >= n || u.V >= n {
+			httpError(w, badParam("updates",
+				fmt.Errorf("update %d: vertex out of range [0,%d): %d->%d", i, n, u.U, u.V)))
+			return
+		}
+		op := edge.Insert
+		switch u.Op {
+		case "", "insert", "ins":
+		case "delete", "del":
+			op = edge.Delete
+		default:
+			httpError(w, badParam("op", fmt.Errorf("unknown op %q", u.Op)))
+			return
+		}
+		batch[i] = edge.Update{Edge: edge.Edge{U: u.U, V: u.V, T: u.T}, Op: op}
+	}
+	if s.undirected {
+		batch = stream.Mirror(batch)
+	}
+	mgr.Ingest(func(t *dyngraph.Tracked) { t.ApplyBatch(s.ingestWorkers, batch) })
+	writeJSON(w, IngestReply{Applied: len(wire), Epoch: mgr.Epoch(), Staleness: mgr.Staleness()})
+}
+
+// errBadRequest wraps parameter errors so httpError maps them to 400.
+type errBadRequest struct{ error }
+
+func badParam(name string, err error) error {
+	return errBadRequest{fmt.Errorf("bad %s: %w", name, err)}
+}
+
+func queryUint32(r *http.Request, name string) (uint32, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, badParam(name, errors.New("missing"))
+	}
+	u, err := strconv.ParseUint(v, 10, 32)
+	if err != nil {
+		return 0, badParam(name, err)
+	}
+	return uint32(u), nil
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var bad errBadRequest
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadVertex):
+		code = http.StatusBadRequest
+	case errors.As(err, &bad):
+		code = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,350 @@
+// Package qserve is the query-serving layer over the incremental
+// snapshot pipeline: a fixed-capacity executor pool that runs analysis
+// queries (BFS, delta-stepping SSSP, st-connectivity, connected
+// components, stats) against whatever snapshot the manager currently
+// publishes, with per-worker kernel scratch checked out from a free
+// list instead of allocated per request.
+//
+// Admission is queue-or-shed: up to MaxConcurrent queries execute at
+// once, up to MaxQueue more wait their turn, and anything beyond that
+// is shed immediately with ErrOverloaded — bounded latency under
+// overload instead of an unbounded goroutine pile-up.
+//
+// Scratch reuse across epochs is safe by construction: a
+// traversal.Scratch re-validates itself by graph shape (n, m) and an
+// sssp.Scratch keys its cached weighted view by graph pointer, so a
+// scratch that last served an older snapshot transparently rebuilds
+// exactly the state the new snapshot needs. The free list tags each
+// scratch with the epoch it last served so that revalidation has one
+// hook point (and so tests can observe reuse).
+package qserve
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"snapdyn/internal/cc"
+	"snapdyn/internal/csr"
+	"snapdyn/internal/par"
+	"snapdyn/internal/snapmgr"
+	"snapdyn/internal/sssp"
+	"snapdyn/internal/traversal"
+)
+
+// ErrOverloaded is returned when a query is shed: MaxConcurrent queries
+// are executing and MaxQueue more are already waiting.
+var ErrOverloaded = errors.New("qserve: overloaded, query shed")
+
+// ErrBadVertex is returned when a query names a vertex outside the
+// snapshot's vertex set.
+var ErrBadVertex = errors.New("qserve: vertex out of range")
+
+// Config sizes the executor pool.
+type Config struct {
+	// Workers is the kernel parallelism of each query; <= 0 means 1
+	// (serve many queries concurrently rather than one query on many
+	// cores — the serving default).
+	Workers int
+	// MaxConcurrent bounds the queries executing at once; <= 0 means
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds the queries waiting for a slot; <= 0 means
+	// 2*MaxConcurrent. Beyond it, queries are shed with ErrOverloaded.
+	MaxQueue int
+	// Undirected declares the managed snapshots symmetric, enabling the
+	// direction-optimizing traversal strategy for BFS-shaped queries.
+	Undirected bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = par.MaxWorkers()
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	return c
+}
+
+// scratchSet is one pooled unit of per-query kernel state: the
+// traversal arena + result, the SSSP arena, and a persistent
+// st-connectivity early-exit hook (bound once so the steady-state
+// query path allocates no closures).
+type scratchSet struct {
+	trav *traversal.Scratch
+	res  traversal.Result
+	ssp  *sssp.Scratch
+	src  [1]uint32
+
+	connTarget uint32
+	connHook   func(int32, int) bool
+
+	// epoch is the snapshot version this set last served. Kernel
+	// scratches self-revalidate (traversal by (n, m), sssp by graph
+	// pointer), so nothing is rebuilt eagerly on an epoch change; the
+	// tag exists so revalidate has a place to hang any future cache
+	// that is keyed by epoch rather than by shape.
+	epoch uint64
+}
+
+func newScratchSet() *scratchSet {
+	s := &scratchSet{trav: traversal.NewScratch(), ssp: sssp.NewScratch()}
+	s.connHook = func(int32, int) bool {
+		return s.res.Level[s.connTarget] == traversal.NotVisited
+	}
+	return s
+}
+
+// revalidate prepares the set for a snapshot at the given epoch. The
+// kernel scratches detect shape/graph changes on their own, so this is
+// only the epoch tag today.
+func (s *scratchSet) revalidate(epoch uint64) { s.epoch = epoch }
+
+// Counters reports executor activity. Served counts completed queries,
+// Shed the ones refused with ErrOverloaded, Inflight and Waiting the
+// instantaneous occupancy.
+type Counters struct {
+	Served   uint64 `json:"served"`
+	Shed     uint64 `json:"shed"`
+	Inflight int    `json:"inflight"`
+	Waiting  int    `json:"waiting"`
+}
+
+// Executor runs queries against mgr.Current() with pooled scratch and
+// bounded admission. All methods are safe for concurrent use.
+type Executor struct {
+	mgr *snapmgr.Manager
+	cfg Config
+
+	slots   chan struct{} // acquired for the duration of one query
+	free    chan *scratchSet
+	waiting atomic.Int64
+	served  atomic.Uint64
+	shed    atomic.Uint64
+}
+
+// New returns an executor over the manager's published snapshots.
+func New(mgr *snapmgr.Manager, cfg Config) *Executor {
+	cfg = cfg.withDefaults()
+	return &Executor{
+		mgr:   mgr,
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		free:  make(chan *scratchSet, cfg.MaxConcurrent),
+	}
+}
+
+// Manager returns the snapshot manager the executor serves from.
+func (e *Executor) Manager() *snapmgr.Manager { return e.mgr }
+
+// Counters returns a point-in-time view of executor activity.
+func (e *Executor) Counters() Counters {
+	return Counters{
+		Served:   e.served.Load(),
+		Shed:     e.shed.Load(),
+		Inflight: len(e.slots),
+		Waiting:  int(e.waiting.Load()),
+	}
+}
+
+// checkout admits the query (queue-or-shed), then hands out the current
+// snapshot, its epoch lower bound, and a scratch set. Scratch objects
+// are only ever created while holding an execution slot and the free
+// list is slot-capacity sized, so at most MaxConcurrent sets exist and
+// a release never drops one.
+func (e *Executor) checkout() (*csr.Graph, uint64, *scratchSet, error) {
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		// No free slot: queue if there is room, shed otherwise.
+		if e.waiting.Add(1) > int64(e.cfg.MaxQueue) {
+			e.waiting.Add(-1)
+			e.shed.Add(1)
+			return nil, 0, nil, ErrOverloaded
+		}
+		e.slots <- struct{}{}
+		e.waiting.Add(-1)
+	}
+	var s *scratchSet
+	select {
+	case s = <-e.free:
+	default:
+		s = newScratchSet()
+	}
+	// Epoch first, then the graph: the snapshot served is at least this
+	// fresh (publication stores the graph before bumping the epoch).
+	epoch := e.mgr.Epoch()
+	g := e.mgr.Current()
+	s.revalidate(epoch)
+	return g, epoch, s, nil
+}
+
+// release returns the scratch before freeing the slot, so a queued
+// query that wakes always finds a warm set on the free list.
+func (e *Executor) release(s *scratchSet) {
+	e.free <- s
+	<-e.slots
+	e.served.Add(1)
+}
+
+// strategy picks the traversal engine for BFS-shaped queries.
+func (e *Executor) strategy() traversal.Strategy {
+	if e.cfg.Undirected {
+		return traversal.DirectionOpt
+	}
+	return traversal.TopDown
+}
+
+// BFSReply summarizes one BFS query.
+type BFSReply struct {
+	Src     uint32 `json:"src"`
+	Reached int    `json:"reached"`
+	Levels  int    `json:"levels"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// BFS runs a breadth-first search from src over the current snapshot.
+func (e *Executor) BFS(src uint32) (BFSReply, error) {
+	g, epoch, s, err := e.checkout()
+	if err != nil {
+		return BFSReply{}, err
+	}
+	defer e.release(s)
+	if int(src) >= g.N {
+		return BFSReply{}, ErrBadVertex
+	}
+	s.src[0] = src
+	traversal.Run(g, s.src[:1], traversal.Options{Workers: e.cfg.Workers, Strategy: e.strategy()}, s.trav, &s.res)
+	return BFSReply{Src: src, Reached: s.res.Reached, Levels: s.res.Levels, Epoch: epoch}, nil
+}
+
+// SSSPReply summarizes one delta-stepping shortest-paths query.
+type SSSPReply struct {
+	Src     uint32 `json:"src"`
+	Reached int    `json:"reached"`
+	// MaxDist is the largest finite distance (the weighted eccentricity
+	// of src); 0 when nothing beyond src is reachable.
+	MaxDist int64  `json:"maxDist"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// SSSP runs delta-stepping shortest paths from src with the arc time
+// labels as weights (delta <= 0 picks the heuristic bucket width).
+//
+// The pooled scratch caches its weighted graph view keyed by (graph,
+// delta): requests that agree on delta (in particular the <= 0
+// default) reuse it across the epoch, while a delta differing from
+// the scratch's cached one pays a full O(m) view rebuild inside the
+// request. Serving workloads should therefore omit delta (or agree on
+// one); per-request delta tuning is supported but priced accordingly.
+func (e *Executor) SSSP(src uint32, delta int64) (SSSPReply, error) {
+	g, epoch, s, err := e.checkout()
+	if err != nil {
+		return SSSPReply{}, err
+	}
+	defer e.release(s)
+	if int(src) >= g.N {
+		return SSSPReply{}, ErrBadVertex
+	}
+	dist := sssp.Run(g, src, sssp.Options{Workers: e.cfg.Workers, Delta: delta, Scratch: s.ssp})
+	reply := SSSPReply{Src: src, Epoch: epoch}
+	for _, d := range dist {
+		if d != sssp.Inf {
+			reply.Reached++
+			if d > reply.MaxDist {
+				reply.MaxDist = d
+			}
+		}
+	}
+	return reply, nil
+}
+
+// ConnReply answers one st-connectivity query.
+type ConnReply struct {
+	U         uint32 `json:"u"`
+	V         uint32 `json:"v"`
+	Connected bool   `json:"connected"`
+	// Hops is the hop distance between u and v; -1 when disconnected.
+	Hops  int32  `json:"hops"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// Connected answers st-connectivity by an early-exiting traversal from
+// u: the engine's level-end hook stops as soon as v settles, so the
+// remaining levels' arcs are never inspected.
+func (e *Executor) Connected(u, v uint32) (ConnReply, error) {
+	g, epoch, s, err := e.checkout()
+	if err != nil {
+		return ConnReply{}, err
+	}
+	defer e.release(s)
+	if int(u) >= g.N || int(v) >= g.N {
+		return ConnReply{}, ErrBadVertex
+	}
+	reply := ConnReply{U: u, V: v, Epoch: epoch}
+	if u == v {
+		reply.Connected, reply.Hops = true, 0
+		return reply, nil
+	}
+	s.src[0] = u
+	s.connTarget = v
+	traversal.Run(g, s.src[:1], traversal.Options{
+		Workers:  e.cfg.Workers,
+		Strategy: e.strategy(),
+		Hooks:    traversal.Hooks{OnLevelEnd: s.connHook},
+	}, s.trav, &s.res)
+	if lvl := s.res.Level[v]; lvl != traversal.NotVisited {
+		reply.Connected, reply.Hops = true, lvl
+	} else {
+		reply.Hops = -1
+	}
+	return reply, nil
+}
+
+// ComponentsReply summarizes the component structure.
+type ComponentsReply struct {
+	Components  int    `json:"components"`
+	LargestSize int    `json:"largestSize"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+// Components labels weakly-connected components over the current
+// snapshot. Unlike the traversal queries it allocates its O(n) label
+// array per request (the component kernel owns no pooled scratch).
+func (e *Executor) Components() (ComponentsReply, error) {
+	g, epoch, s, err := e.checkout()
+	if err != nil {
+		return ComponentsReply{}, err
+	}
+	defer e.release(s)
+	comp := cc.Components(e.cfg.Workers, g)
+	_, size := cc.Largest(e.cfg.Workers, comp)
+	return ComponentsReply{Components: cc.Count(comp), LargestSize: size, Epoch: epoch}, nil
+}
+
+// StatsReply summarizes the served snapshot and the serving state.
+type StatsReply struct {
+	Vertices  int    `json:"vertices"`
+	Arcs      int64  `json:"arcs"`
+	MaxDegree int64  `json:"maxDegree"`
+	Epoch     uint64 `json:"epoch"`
+	Staleness int    `json:"staleness"`
+}
+
+// Stats reports the current snapshot's shape plus the manager's epoch
+// and staleness. It bypasses admission: stats are cheap (one O(n)
+// degree scan) and must stay observable under query overload.
+func (e *Executor) Stats() StatsReply {
+	epoch := e.mgr.Epoch()
+	g := e.mgr.Current()
+	return StatsReply{
+		Vertices:  g.N,
+		Arcs:      g.NumEdges(),
+		MaxDegree: g.MaxDegree(),
+		Epoch:     epoch,
+		Staleness: e.mgr.Staleness(),
+	}
+}

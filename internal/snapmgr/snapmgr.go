@@ -13,23 +13,40 @@ package snapmgr
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"snapdyn/internal/csr"
 	"snapdyn/internal/dyngraph"
 )
 
-// Manager versions snapshots of one tracked store. Current, Epoch, and
-// Staleness may be called from any goroutine at any time; Refresh calls
-// serialize on an internal mutex and must not run concurrently with
-// store mutations (reading the current snapshot during ingest is always
-// safe — that is the point).
+// Manager versions snapshots of one tracked store. Current, Epoch,
+// Staleness, and Metrics may be called from any goroutine at any time;
+// Refresh calls serialize on an internal gate and must not run
+// concurrently with store mutations (reading the current snapshot
+// during ingest is always safe — that is the point). Mutations applied
+// through Ingest take the shared side of that gate, so they serialize
+// against Refresh automatically — the contract a background
+// auto-refresher (Start/Stop) relies on.
 type Manager struct {
 	store *dyngraph.Tracked
 	cur   atomic.Pointer[csr.Graph]
 	epoch atomic.Uint64
 
-	mu    sync.Mutex
-	dirty []uint32 // reused Flush buffer, guarded by mu
+	// gate serializes refresh (exclusive) against ingest (shared):
+	// concurrent Ingest calls proceed together, none overlaps a
+	// Refresh. It also protects the reused dirty Flush buffer, written
+	// only under the exclusive side.
+	gate  sync.RWMutex
+	dirty []uint32
+
+	lastPub atomic.Int64 // UnixNano of the last publication
+
+	metMu sync.Mutex
+	met   Metrics // counters only; lag fields filled by Metrics()
+
+	autoMu sync.Mutex
+	stopCh chan struct{}
+	doneCh chan struct{}
 }
 
 // New builds the initial snapshot (a full FromStore materialization of
@@ -65,11 +82,28 @@ func (m *Manager) Staleness() int { return m.store.DirtyCount() }
 // republished unchanged. Concurrent Refresh calls serialize; the epoch
 // advances once per call.
 func (m *Manager) Refresh(workers int) *csr.Graph {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.gate.Lock()
+	start := time.Now()
 	m.dirty = m.store.Flush(m.dirty[:0])
+	consumed := len(m.dirty)
 	g := csr.Refresh(workers, m.cur.Load(), m.store, m.dirty)
 	m.cur.Store(g)
 	m.epoch.Add(1)
+	m.lastPub.Store(time.Now().UnixNano())
+
+	// Record metrics before releasing the gate: refreshes serialize on
+	// it, so Last* always describes the most recently published epoch
+	// (a delayed post-unlock update could land after a later refresh's).
+	lat := time.Since(start)
+	m.metMu.Lock()
+	m.met.Refreshes++
+	m.met.LastDirty = consumed
+	m.met.LastLatency = lat
+	m.met.TotalLatency += lat
+	if lat > m.met.MaxLatency {
+		m.met.MaxLatency = lat
+	}
+	m.metMu.Unlock()
+	m.gate.Unlock()
 	return g
 }

@@ -1,0 +1,136 @@
+package snapmgr
+
+import (
+	"testing"
+	"time"
+
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+)
+
+func newStore(n int) *dyngraph.Tracked {
+	return dyngraph.NewTracked(dyngraph.NewHybrid(n, 8*n, 0, 1))
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAutoRefreshDirtyTrigger(t *testing.T) {
+	store := newStore(64)
+	m := New(0, store)
+	if !m.Start(Policy{MaxDirty: 4, Poll: time.Millisecond}) {
+		t.Fatal("Start returned false on first call")
+	}
+	defer m.Stop()
+	if m.Start(Policy{}) {
+		t.Fatal("second Start must report false")
+	}
+
+	// Below the threshold: no refresh even after several polls.
+	m.Ingest(func(s *dyngraph.Tracked) { s.Insert(1, 2, 10) })
+	time.Sleep(20 * time.Millisecond)
+	if e := m.Epoch(); e != 1 {
+		t.Fatalf("epoch = %d after sub-threshold dirt, want 1", e)
+	}
+
+	// Crossing it: the background refresher publishes on its own.
+	m.Ingest(func(s *dyngraph.Tracked) {
+		s.Insert(3, 4, 10)
+		s.Insert(5, 6, 10)
+		s.Insert(7, 8, 10)
+	})
+	waitFor(t, 2*time.Second, func() bool { return m.Epoch() >= 2 }, "dirty-triggered refresh")
+	waitFor(t, 2*time.Second, func() bool { return m.Staleness() == 0 }, "dirty set consumed")
+	if g := m.Current(); g.NumEdges() != 4 {
+		t.Fatalf("snapshot has %d arcs, want 4", g.NumEdges())
+	}
+	met := m.Metrics()
+	if met.AutoRefreshes == 0 || met.DirtyTriggered == 0 {
+		t.Fatalf("metrics = %+v, want dirty-triggered auto refresh counted", met)
+	}
+}
+
+func TestAutoRefreshAgeTrigger(t *testing.T) {
+	store := newStore(64)
+	m := New(0, store)
+	// Huge dirty threshold: only the age trigger can fire.
+	if !m.Start(Policy{MaxDirty: 1 << 30, MaxAge: 10 * time.Millisecond, Poll: time.Millisecond}) {
+		t.Fatal("Start returned false")
+	}
+	defer m.Stop()
+
+	m.Ingest(func(s *dyngraph.Tracked) { s.Insert(1, 2, 10) })
+	waitFor(t, 2*time.Second, func() bool { return m.Epoch() >= 2 }, "age-triggered refresh")
+	met := m.Metrics()
+	if met.AgeTriggered == 0 {
+		t.Fatalf("metrics = %+v, want age-triggered refresh counted", met)
+	}
+	if g := m.Current(); g.NumEdges() != 1 {
+		t.Fatalf("snapshot has %d arcs, want 1", g.NumEdges())
+	}
+}
+
+func TestAutoRefreshZeroPolicyRefreshesOnAnyDirt(t *testing.T) {
+	store := newStore(64)
+	m := New(0, store)
+	if !m.Start(Policy{Poll: time.Millisecond}) {
+		t.Fatal("Start returned false")
+	}
+	defer m.Stop()
+	m.Ingest(func(s *dyngraph.Tracked) { s.Insert(9, 10, 1) })
+	waitFor(t, 2*time.Second, func() bool { return m.Epoch() >= 2 }, "zero-policy refresh")
+}
+
+func TestStopHaltsRefresher(t *testing.T) {
+	store := newStore(64)
+	m := New(0, store)
+	m.Start(Policy{Poll: time.Millisecond})
+	m.Stop()
+	m.Stop() // idempotent
+
+	m.Ingest(func(s *dyngraph.Tracked) { s.Insert(1, 2, 10) })
+	time.Sleep(20 * time.Millisecond)
+	if e := m.Epoch(); e != 1 {
+		t.Fatalf("epoch advanced to %d after Stop, want 1", e)
+	}
+	if m.Staleness() != 1 {
+		t.Fatalf("staleness = %d, want 1 (pending until next refresh)", m.Staleness())
+	}
+	// A restart picks the pending updates up.
+	if !m.Start(Policy{Poll: time.Millisecond}) {
+		t.Fatal("restart after Stop must succeed")
+	}
+	defer m.Stop()
+	waitFor(t, 2*time.Second, func() bool { return m.Staleness() == 0 }, "restarted refresher")
+}
+
+func TestRefreshMetricsLatencies(t *testing.T) {
+	store := newStore(256)
+	m := New(0, store)
+	for i := 0; i < 3; i++ {
+		m.Ingest(func(s *dyngraph.Tracked) { s.Insert(edge.ID(2*i), edge.ID(2*i+1), 5) })
+		m.Refresh(0)
+	}
+	met := m.Metrics()
+	if met.Refreshes != 4 { // initial + 3 manual
+		t.Fatalf("refreshes = %d, want 4", met.Refreshes)
+	}
+	if met.LastDirty != 1 {
+		t.Fatalf("last dirty = %d, want 1", met.LastDirty)
+	}
+	if met.TotalLatency < met.MaxLatency || met.MaxLatency < met.LastLatency && met.LastLatency > met.TotalLatency {
+		t.Fatalf("latency accounting inconsistent: %+v", met)
+	}
+	if met.Epoch != 4 || met.Staleness != 0 {
+		t.Fatalf("lag fields wrong: %+v", met)
+	}
+}

@@ -453,7 +453,6 @@ func (e *exec) heavyBody(lo, hi int) {
 	e.sc.out.Put(w, local)
 }
 
-
 // relax attempts dist[v] = min(dist[v], nd) with a CAS loop; the winning
 // worker records the improvement in its local bucket.
 func relax(dist []int64, v uint32, nd int64, local []uint32) []uint32 {

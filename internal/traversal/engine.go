@@ -741,4 +741,3 @@ func (e *exec) relaxStepBody(lo, hi int) {
 		atomic.AddInt64(&e.foundEdges, enq)
 	}
 }
-

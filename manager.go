@@ -1,10 +1,11 @@
 package snapdyn
 
 import (
-	"sync"
 	"sync/atomic"
 
+	"snapdyn/internal/dyngraph"
 	"snapdyn/internal/snapmgr"
+	"snapdyn/internal/stream"
 )
 
 // SnapshotManager versions immutable snapshots of one live graph so
@@ -15,26 +16,31 @@ import (
 //     snapshot already handed out stays valid while newer ones are
 //     published; it is reclaimed by the garbage collector when the last
 //     reader drops it. Readers never coordinate with writers.
-//   - The ingest side applies updates to the Graph as usual and calls
-//     Refresh whenever a fresher snapshot should be published. Refresh
+//   - The ingest side applies updates and calls Refresh whenever a
+//     fresher snapshot should be published — or starts the background
+//     auto-refresher (StartAutoRefresh) and lets policy decide. Refresh
 //     consumes the graph's dirty-vertex set and rebuilds only the
 //     adjacencies that changed since the previous snapshot, reusing all
 //     clean spans (csr.Refresh); past a ~15% dirty fraction it falls
 //     back to a full rebuild, which is cheaper at that point.
 //
-// Refresh calls serialize on an internal mutex and must not run
-// concurrently with graph mutations (apply a batch, then refresh;
-// readers keep querying throughout). Epoch and Staleness report the
-// snapshot's version and lag.
+// Refresh calls serialize on an internal gate and must not run
+// concurrently with graph mutations. Without the auto-refresher the
+// usual pattern (apply a batch, then refresh) satisfies that by
+// construction. With the auto-refresher running, route mutations
+// through the manager's ingest methods (ApplyUpdates, InsertEdge,
+// DeleteEdge) — they take the shared side of the same gate, so any
+// number of ingesters proceed together while refreshes wait their
+// turn. Readers keep querying throughout either way.
 type SnapshotManager struct {
 	g *Graph
 	m *snapmgr.Manager
 
-	mu sync.Mutex // serializes publish of cur against concurrent Refresh
-	// cur and epoch are published in that order, epoch last, so Epoch()
-	// never runs ahead of the snapshot Current() returns.
-	cur   atomic.Pointer[Snapshot]
-	epoch atomic.Uint64
+	// cur caches the facade wrapper for the internal manager's current
+	// CSR graph. It is best-effort: Current always validates the cached
+	// wrapper against m.Current() and re-wraps on mismatch, so a racing
+	// stale store only costs one small allocation, never staleness.
+	cur atomic.Pointer[Snapshot]
 }
 
 // Manager builds the initial snapshot with the given worker count and
@@ -44,19 +50,26 @@ type SnapshotManager struct {
 func (g *Graph) Manager(workers int) *SnapshotManager {
 	sm := &SnapshotManager{g: g, m: snapmgr.New(workers, g.store)}
 	sm.cur.Store(&Snapshot{g: sm.m.Current(), undirected: g.undirected})
-	sm.epoch.Store(sm.m.Epoch())
 	return sm
 }
 
-// Current returns the latest published snapshot: one atomic load, safe
-// from any goroutine at any time, including during a concurrent
-// Refresh.
-func (sm *SnapshotManager) Current() *Snapshot { return sm.cur.Load() }
+// Current returns the latest published snapshot: an atomic load (plus,
+// right after an epoch change, one small wrapper allocation), safe from
+// any goroutine at any time, including during a concurrent Refresh.
+func (sm *SnapshotManager) Current() *Snapshot {
+	g := sm.m.Current()
+	if s := sm.cur.Load(); s != nil && s.g == g {
+		return s
+	}
+	ns := &Snapshot{g: g, undirected: sm.g.undirected}
+	sm.cur.Store(ns)
+	return ns
+}
 
 // Epoch returns the number of materializations published so far. It is
 // monotone, advances by exactly one per Refresh (even when nothing
 // changed), and never runs ahead of the snapshot Current returns.
-func (sm *SnapshotManager) Epoch() uint64 { return sm.epoch.Load() }
+func (sm *SnapshotManager) Epoch() uint64 { return sm.m.Epoch() }
 
 // Staleness returns the number of vertices dirtied since the last
 // Refresh began consuming updates — the work the next Refresh will do.
@@ -70,18 +83,72 @@ func (sm *SnapshotManager) Staleness() int { return sm.m.Staleness() }
 // cost is proportional to the dirty-vertex set, not the graph (see the
 // type comment for the fallback threshold). When no updates arrived
 // since the last Refresh the previous snapshot is republished
-// unchanged. Must not run concurrently with mutations of the graph;
+// unchanged. Must not run concurrently with ungated mutations of the
+// graph (the manager's own ingest methods are gated and always safe);
 // concurrent readers are unaffected.
 func (sm *SnapshotManager) Refresh(workers int) *Snapshot {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	old := sm.cur.Load()
-	g := sm.m.Refresh(workers)
-	snap := old
-	if old == nil || old.g != g {
-		snap = &Snapshot{g: g, undirected: sm.g.undirected}
-		sm.cur.Store(snap)
-	}
-	sm.epoch.Store(sm.m.Epoch())
-	return snap
+	sm.m.Refresh(workers)
+	return sm.Current()
 }
+
+// ApplyUpdates applies a batch of updates through the refresh gate:
+// safe to call concurrently with other gated ingest and with the
+// background auto-refresher. Mirrors the batch first for undirected
+// graphs, like Graph.ApplyUpdates.
+func (sm *SnapshotManager) ApplyUpdates(workers int, batch []Update) {
+	if sm.g.undirected {
+		batch = stream.Mirror(batch)
+	}
+	sm.m.Ingest(func(s *dyngraph.Tracked) { s.ApplyBatch(workers, batch) })
+}
+
+// InsertEdge adds the edge u->v at time t through the refresh gate
+// (and v->u for undirected graphs).
+func (sm *SnapshotManager) InsertEdge(u, v VertexID, t uint32) {
+	sm.m.Ingest(func(s *dyngraph.Tracked) {
+		s.Insert(u, v, t)
+		if sm.g.undirected && u != v {
+			s.Insert(v, u, t)
+		}
+	})
+}
+
+// DeleteEdge removes one edge u->v (and its mirror for undirected
+// graphs) through the refresh gate, reporting whether the forward arc
+// existed.
+func (sm *SnapshotManager) DeleteEdge(u, v VertexID) bool {
+	var ok bool
+	sm.m.Ingest(func(s *dyngraph.Tracked) {
+		ok = s.Delete(u, v)
+		if sm.g.undirected && u != v {
+			s.Delete(v, u)
+		}
+	})
+	return ok
+}
+
+// AutoRefreshPolicy configures the background auto-refresher: refresh
+// when the dirty-vertex count reaches MaxDirty or when MaxAge has
+// passed since the last publication with updates pending. The zero
+// value refreshes whenever anything is dirty.
+type AutoRefreshPolicy = snapmgr.Policy
+
+// RefreshMetrics reports refresh counts, latencies, and the current
+// epoch lag (pending dirty vertices and snapshot age).
+type RefreshMetrics = snapmgr.Metrics
+
+// StartAutoRefresh launches a background goroutine that refreshes
+// under the given policy, reporting false if one is already running.
+// While it runs, mutations must go through the manager's ingest
+// methods (ApplyUpdates, InsertEdge, DeleteEdge), which serialize with
+// the background refresh; mutating the Graph directly would race the
+// materialization. Readers are unaffected and never block.
+func (sm *SnapshotManager) StartAutoRefresh(p AutoRefreshPolicy) bool { return sm.m.Start(p) }
+
+// StopAutoRefresh halts the background refresher, waiting for any
+// in-flight refresh to publish. Pending updates stay pending until the
+// next Refresh or StartAutoRefresh.
+func (sm *SnapshotManager) StopAutoRefresh() { sm.m.Stop() }
+
+// Metrics returns a snapshot of refresh activity and current lag.
+func (sm *SnapshotManager) Metrics() RefreshMetrics { return sm.m.Metrics() }
