@@ -53,9 +53,16 @@ func median(xs []float64) float64 {
 
 // compare renders a delta table over the benchmarks present in both
 // runs and reports whether any median ns/op regressed by more than
-// maxRegressPct. Benchmarks on only one side are listed but never
-// gate: a new benchmark has no baseline, a removed one no head.
-func compare(oldRuns, newRuns map[string][]float64, maxRegressPct float64) (string, bool) {
+// maxRegressPct. A threshold-crossing delta only gates when the
+// Mann-Whitney U test over the paired sample sets finds the difference
+// significant at level alpha — the benchstat discipline, so one noisy
+// sample cannot fail CI. When the sample sizes give the test no power
+// (its smallest achievable p-value exceeds alpha, e.g. 3v3 runs at
+// alpha 0.05), the gate falls back to the raw median delta rather than
+// waving regressions through. Benchmarks on only one side are listed
+// but never gate: a new benchmark has no baseline, a removed one no
+// head.
+func compare(oldRuns, newRuns map[string][]float64, maxRegressPct, alpha float64) (string, bool) {
 	var names []string
 	for name := range oldRuns {
 		names = append(names, name)
@@ -64,7 +71,7 @@ func compare(oldRuns, newRuns map[string][]float64, maxRegressPct float64) (stri
 
 	var b strings.Builder
 	failed := false
-	fmt.Fprintf(&b, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(&b, "%-52s %14s %14s %9s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta", "p")
 	for _, name := range names {
 		oldMed := median(oldRuns[name])
 		newSamples, ok := newRuns[name]
@@ -74,12 +81,20 @@ func compare(oldRuns, newRuns map[string][]float64, maxRegressPct float64) (stri
 		}
 		newMed := median(newSamples)
 		delta := 100 * (newMed - oldMed) / oldMed
+		p := mwuP(oldRuns[name], newSamples)
+		powerless := minAchievableP(len(oldRuns[name]), len(newSamples)) > alpha
+		pStr := fmt.Sprintf("%.3f", p)
+		if powerless {
+			pStr = "~" + pStr
+		}
 		mark := ""
-		if delta > maxRegressPct {
+		if delta > maxRegressPct && (powerless || p <= alpha) {
 			mark = "  REGRESSION"
 			failed = true
+		} else if delta > maxRegressPct {
+			mark = "  (not significant)"
 		}
-		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %+8.1f%%%s\n", name, oldMed, newMed, delta, mark)
+		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %+8.1f%% %8s%s\n", name, oldMed, newMed, delta, pStr, mark)
 	}
 	var added []string
 	for name := range newRuns {

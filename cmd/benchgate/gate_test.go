@@ -63,7 +63,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkB": {800, 820},
 		"BenchmarkC": {10},
 	}
-	report, failed := compare(old, niu, 20)
+	report, failed := compare(old, niu, 20, 0.05)
 	if !failed {
 		t.Fatalf("expected failure, report:\n%s", report)
 	}
@@ -74,7 +74,7 @@ func TestCompareGate(t *testing.T) {
 	}
 
 	// Within threshold: 30% regression passes a 40% gate.
-	report, failed = compare(old, niu, 40)
+	report, failed = compare(old, niu, 40, 0.05)
 	if failed {
 		t.Fatalf("40%% gate should pass, report:\n%s", report)
 	}
@@ -83,7 +83,7 @@ func TestCompareGate(t *testing.T) {
 	}
 
 	// Improvements and new benchmarks never fail the gate.
-	report, failed = compare(map[string][]float64{"BenchmarkB": {1000}}, niu, 20)
+	report, failed = compare(map[string][]float64{"BenchmarkB": {1000}}, niu, 20, 0.05)
 	if failed {
 		t.Fatalf("improvement-only compare failed:\n%s", report)
 	}

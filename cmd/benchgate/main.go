@@ -1,11 +1,16 @@
 // Command benchgate is the CI benchmark-regression gate: it parses two
 // `go test -bench` outputs (base and head), compares the median ns/op
 // of every benchmark present in both, and exits non-zero when any
-// regresses by more than the threshold. benchstat renders the
-// human-readable comparison artifact; this gate exists so the
-// pass/fail decision is deterministic, dependency-free, and tolerant
-// of benchmarks that exist on only one side (new benchmarks are never
-// a regression).
+// regresses by more than the threshold AND the Mann-Whitney U test
+// finds the sample sets significantly different at -alpha (benchstat's
+// significance discipline, reimplemented here so the pass/fail
+// decision is deterministic and dependency-free). When the sample
+// sizes give the rank test no power — its smallest achievable p-value
+// exceeds alpha, as with fewer than 4v4 runs at alpha 0.05 — the gate
+// falls back to the raw median delta so small -count values never
+// hide a large regression. benchstat still renders the human-readable
+// comparison artifact; this gate is tolerant of benchmarks that exist
+// on only one side (new benchmarks are never a regression).
 //
 // Usage:
 //
@@ -25,6 +30,7 @@ func main() {
 		oldPath = flag.String("old", "", "base `go test -bench` output (required)")
 		newPath = flag.String("new", "", "head `go test -bench` output (required)")
 		maxReg  = flag.Float64("max-regress", 20, "max allowed ns/op regression in percent")
+		alpha   = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney U test; threshold-crossing deltas only gate when significant (or when the sample sizes make the test powerless)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
@@ -41,7 +47,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	report, failed := compare(oldRuns, newRuns, *maxReg)
+	report, failed := compare(oldRuns, newRuns, *maxReg, *alpha)
 	fmt.Print(report)
 	if failed {
 		os.Exit(1)

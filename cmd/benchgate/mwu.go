@@ -1,0 +1,171 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// mwuP returns the two-sided p-value of the Mann-Whitney U test for
+// samples a and b: the probability, under the null hypothesis that both
+// come from the same distribution, of a rank split at least this
+// extreme. Small tie-free samples use the exact U distribution (the
+// same test benchstat applies to paired benchmark runs); ties or large
+// samples fall back to the normal approximation with tie correction.
+func mwuP(a, b []float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 1
+	}
+	ranks, ties := midranks(a, b)
+	// U for sample a from its rank sum.
+	var ra float64
+	for i := 0; i < n; i++ {
+		ra += ranks[i]
+	}
+	u := ra - float64(n*(n+1))/2
+
+	if !ties && n+m <= 40 {
+		return exactP(n, m, u)
+	}
+	return normalP(n, m, u, tieTerm(a, b))
+}
+
+// minAchievableP is the smallest two-sided p-value the exact test can
+// produce for sample sizes n and m: 2/C(n+m, n), reached when one
+// sample's values all rank above the other's. When this floor exceeds
+// the significance level, the test is powerless at those sizes.
+func minAchievableP(n, m int) float64 {
+	if n == 0 || m == 0 {
+		return 1
+	}
+	return math.Min(1, 2/choose(n+m, n))
+}
+
+// midranks assigns ranks over the pooled samples (ties get the mean of
+// the ranks they span), returning the pooled ranks — a's first, then
+// b's — and whether any tie occurred.
+func midranks(a, b []float64) (ranks []float64, ties bool) {
+	type obs struct {
+		v    float64
+		from int // index into the output rank slice
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for i, v := range a {
+		all = append(all, obs{v, i})
+	}
+	for i, v := range b {
+		all = append(all, obs{v, len(a) + i})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	ranks = make([]float64, len(all))
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		if j-i > 1 {
+			ties = true
+		}
+		mid := float64(i+j+1) / 2 // mean of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[all[k].from] = mid
+		}
+		i = j
+	}
+	return ranks, ties
+}
+
+// exactP computes the two-sided p-value from the exact null
+// distribution of U: twice the tail probability of the smaller side
+// (capped at 1). counts[u] enumerates the rank subsets of size n with
+// statistic u via the standard recurrence
+//
+//	N(u; n, m) = N(u-m; n-1, m) + N(u; n, m-1).
+func exactP(n, m int, u float64) float64 {
+	total := n * m
+	uSmall := math.Min(u, float64(total)-u)
+	counts := uCounts(n, m)
+	var tail, all float64
+	for v, c := range counts {
+		all += c
+		if float64(v) <= uSmall {
+			tail += c
+		}
+	}
+	return math.Min(1, 2*tail/all)
+}
+
+// uCounts returns the exact null distribution of U for sample sizes
+// (n, m) as counts indexed by u in [0, n*m]: dp[j][u] holds N(u; i, j)
+// for the current i, with the largest pooled observation either from
+// sample a (beating the j remaining b's) or from sample b.
+func uCounts(n, m int) []float64 {
+	dp := make([][]float64, m+1)
+	for j := range dp {
+		dp[j] = make([]float64, n*m+1)
+		dp[j][0] = 1 // i = 0: only u == 0
+	}
+	for i := 1; i <= n; i++ {
+		ndp := make([][]float64, m+1)
+		for j := 0; j <= m; j++ {
+			ndp[j] = make([]float64, n*m+1)
+			for u := 0; u <= i*j; u++ {
+				var s float64
+				if u >= j {
+					s = dp[j][u-j] // largest from a
+				}
+				if j >= 1 {
+					s += ndp[j-1][u] // largest from b
+				}
+				ndp[j][u] = s
+			}
+		}
+		dp = ndp
+	}
+	return dp[m]
+}
+
+// normalP is the large-sample/tied normal approximation with tie
+// correction and continuity correction.
+func normalP(n, m int, u, tieCorr float64) float64 {
+	nm := float64(n * m)
+	nTot := float64(n + m)
+	mean := nm / 2
+	variance := nm/12*(nTot+1) - nm*tieCorr/(12*nTot*(nTot-1))
+	if variance <= 0 {
+		return 1 // all values tied: no evidence of difference
+	}
+	z := (math.Abs(u-mean) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	return math.Erfc(z / math.Sqrt2)
+}
+
+// tieTerm computes sum(t^3 - t) over tie groups of the pooled samples.
+func tieTerm(a, b []float64) float64 {
+	all := append(append([]float64(nil), a...), b...)
+	sort.Float64s(all)
+	var s float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j] == all[i] {
+			j++
+		}
+		t := float64(j - i)
+		s += t*t*t - t
+		i = j
+	}
+	return s
+}
+
+func choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := 1.0
+	for i := 1; i <= k; i++ {
+		c = c * float64(n-k+i) / float64(i)
+	}
+	return c
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMWUExactSeparated(t *testing.T) {
+	// Fully separated 3v3 samples: the most extreme rank split, so the
+	// p-value is the distribution floor 2/C(6,3) = 2/20 = 0.1.
+	a := []float64{100, 110, 105}
+	b := []float64{140, 135, 136}
+	if p := mwuP(a, b); !almostEqual(p, 0.1) {
+		t.Fatalf("separated 3v3 p = %v, want 0.1", p)
+	}
+	// The test is symmetric in its arguments.
+	if pa, pb := mwuP(a, b), mwuP(b, a); !almostEqual(pa, pb) {
+		t.Fatalf("asymmetric p: %v vs %v", pa, pb)
+	}
+	// Fully separated 5v5: 2/C(10,5) = 2/252.
+	a5 := []float64{1, 2, 3, 4, 5}
+	b5 := []float64{10, 11, 12, 13, 14}
+	if p := mwuP(a5, b5); !almostEqual(p, 2.0/252) {
+		t.Fatalf("separated 5v5 p = %v, want 2/252", p)
+	}
+}
+
+func TestMWUInterleaved(t *testing.T) {
+	// Perfectly interleaved samples carry no evidence of a difference;
+	// the p-value must not be small.
+	a := []float64{1, 3, 5, 7, 9}
+	b := []float64{2, 4, 6, 8, 10}
+	if p := mwuP(a, b); p < 0.5 {
+		t.Fatalf("interleaved p = %v, want >= 0.5", p)
+	}
+	if p := mwuP(a, b); p > 1 {
+		t.Fatalf("p = %v out of range", p)
+	}
+}
+
+func TestMWUTies(t *testing.T) {
+	// All values identical: zero variance, no evidence either way.
+	same := []float64{5, 5, 5}
+	if p := mwuP(same, same); p != 1 {
+		t.Fatalf("all-tied p = %v, want 1", p)
+	}
+	// Partial ties force the normal approximation; the result must stay
+	// a valid probability and separated samples must still score lower
+	// than overlapping ones.
+	sep := mwuP([]float64{1, 1, 2, 2, 3}, []float64{7, 7, 8, 8, 9})
+	mix := mwuP([]float64{1, 7, 2, 8, 3}, []float64{1, 7, 2, 8, 9})
+	if sep <= 0 || sep > 1 || mix <= 0 || mix > 1 {
+		t.Fatalf("tied p-values out of range: sep=%v mix=%v", sep, mix)
+	}
+	if sep >= mix {
+		t.Fatalf("separated p %v should be below overlapping p %v", sep, mix)
+	}
+}
+
+func TestMWUEmpty(t *testing.T) {
+	if p := mwuP(nil, []float64{1}); p != 1 {
+		t.Fatalf("empty-sample p = %v, want 1", p)
+	}
+}
+
+func TestMinAchievableP(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{3, 3, 0.1},       // 2/C(6,3)
+		{5, 5, 2.0 / 252}, // 2/C(10,5)
+		{2, 2, 2.0 / 6},
+		{1, 1, 1}, // 2/C(2,1) = 1
+		{0, 5, 1},
+	}
+	for _, c := range cases {
+		if got := minAchievableP(c.n, c.m); !almostEqual(got, c.want) {
+			t.Fatalf("minAchievableP(%d,%d) = %v, want %v", c.n, c.m, got, c.want)
+		}
+	}
+	// Consistency: the floor is exactly the p-value of fully separated
+	// samples at those sizes.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{10, 20, 30, 40, 50}
+	if p, floor := mwuP(a, b), minAchievableP(4, 5); !almostEqual(p, floor) {
+		t.Fatalf("separated 4v5 p = %v, want floor %v", p, floor)
+	}
+}
+
+func TestMidranks(t *testing.T) {
+	ranks, ties := midranks([]float64{10, 30}, []float64{20, 30})
+	if !ties {
+		t.Fatal("tie at 30 not detected")
+	}
+	// Sorted pool: 10(r1), 20(r2), 30, 30 (midrank 3.5 each).
+	want := []float64{1, 3.5, 2, 3.5}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+	if _, ties := midranks([]float64{1, 2}, []float64{3}); ties {
+		t.Fatal("false tie on distinct values")
+	}
+}
+
+func TestUCountsTotals(t *testing.T) {
+	// The null distribution must enumerate all C(n+m, n) rank subsets
+	// and be symmetric around n*m/2.
+	for _, c := range [][2]int{{3, 3}, {2, 5}, {5, 5}, {1, 4}} {
+		n, m := c[0], c[1]
+		counts := uCounts(n, m)
+		var total float64
+		for _, v := range counts {
+			total += v
+		}
+		if want := choose(n+m, n); !almostEqual(total, want) {
+			t.Fatalf("uCounts(%d,%d) total = %v, want C = %v", n, m, total, want)
+		}
+		for u := 0; u <= n*m/2; u++ {
+			if counts[u] != counts[n*m-u] {
+				t.Fatalf("uCounts(%d,%d) asymmetric at u=%d: %v vs %v",
+					n, m, u, counts[u], counts[n*m-u])
+			}
+		}
+	}
+}
+
+func TestCompareSignificance(t *testing.T) {
+	// 30% median regression with heavily overlapping 5v5 samples: the
+	// rank test has power at these sizes and finds no significance, so
+	// the gate must pass and say why.
+	old := map[string][]float64{"BenchmarkNoisy": {100, 105, 250, 260, 95}}
+	niu := map[string][]float64{"BenchmarkNoisy": {130, 135, 90, 255, 265}}
+	report, failed := compare(old, niu, 20, 0.05)
+	if failed {
+		t.Fatalf("insignificant overlap failed the gate:\n%s", report)
+	}
+	if want := "(not significant)"; !strings.Contains(report, want) {
+		t.Fatalf("report missing %q:\n%s", want, report)
+	}
+
+	// The same delta with cleanly separated samples is significant
+	// (p = 2/252) and must gate.
+	old = map[string][]float64{"BenchmarkClean": {100, 101, 99, 100.5, 99.5}}
+	niu = map[string][]float64{"BenchmarkClean": {130, 131, 129, 130.5, 129.5}}
+	report, failed = compare(old, niu, 20, 0.05)
+	if !failed {
+		t.Fatalf("significant regression passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Fatalf("report missing REGRESSION:\n%s", report)
+	}
+
+	// Powerless sizes (3v3: floor 0.1 > alpha) fall back to the raw
+	// delta and still gate — small -count never hides a regression.
+	old = map[string][]float64{"BenchmarkSmall": {100, 110, 105}}
+	niu = map[string][]float64{"BenchmarkSmall": {140, 135, 136}}
+	if report, failed := compare(old, niu, 20, 0.05); !failed {
+		t.Fatalf("powerless fallback did not gate:\n%s", report)
+	}
+}

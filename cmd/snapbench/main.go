@@ -30,12 +30,20 @@
 // p50/p99 per-query latency under mixed ingest/query load, sweeping
 // 1..-qworkers concurrent query workers with -qduration of sustained
 // load per point, plus the allocation-churn measurement behind the
-// RCU-by-GC verdict in ROADMAP.md.
+// RCU-by-GC verdict in ROADMAP.md. The figure "shard" sweeps the
+// vertex-partitioned fleet (-shards counts): bulk-load ingest MUPS
+// through P concurrent shard gates, scatter-gather BFS rate over the
+// per-shard pinned snapshots, and sustained mixed QPS through the
+// fleet executor, each against the single-store baseline. -json
+// additionally writes every measured table to a file for the
+// committed BENCH_*.json artifacts.
 //
 //	snapbench -fig service -scale 16 -qworkers 8 -qduration 2s
+//	snapbench -fig shard -scale 16 -shards 1,2,4,8 -json BENCH_shard.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -64,6 +72,8 @@ func main() {
 		qduration  = flag.Duration("qduration", time.Second, "sustained-load duration per sweep point for the 'service' figure")
 		deltas     = flag.String("deltas", "", "comma-separated delta-stepping bucket widths to sweep for -kernel=sssp (0 = average-weight heuristic; default just the heuristic)")
 		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
+		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the 'shard' figure")
+		jsonPath   = flag.String("json", "", "also write the measured tables as JSON to this file")
 	)
 	flag.Parse()
 
@@ -131,6 +141,13 @@ func main() {
 		"service": func() *timing.Table {
 			return bench.FigService(cfg, *qworkers, *qduration)
 		},
+		"shard": func() *timing.Table {
+			sc, err := parseInts(*shards)
+			if err != nil {
+				fatalf("bad -shards: %v", err)
+			}
+			return bench.FigShard(cfg, sc, *qworkers, *qduration)
+		},
 	}
 
 	var order []string
@@ -140,15 +157,32 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, or all)", f)
+				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, shard, or all)", f)
 			}
 			order = append(order, f)
 		}
 	}
+	type figure struct {
+		Fig   string               `json:"fig"`
+		Title string               `json:"title"`
+		Note  string               `json:"note,omitempty"`
+		Rows  []timing.Measurement `json:"rows"`
+	}
+	var measured []figure
 	for _, f := range order {
 		t := runners[f]()
 		t.Fprint(os.Stdout)
 		fmt.Println()
+		measured = append(measured, figure{Fig: f, Title: t.Title, Note: t.Note, Rows: t.Rows})
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(measured, "", "  ")
+		if err != nil {
+			fatalf("encoding -json: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("writing -json: %v", err)
+		}
 	}
 }
 

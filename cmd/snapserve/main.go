@@ -14,6 +14,13 @@
 // across requests; past -qmax executing and -queue waiting queries,
 // requests are shed with 503 so latency stays bounded under overload.
 //
+// With -shards N (N > 1) the daemon serves a vertex-partitioned fleet
+// instead of one store: N tracked stores each behind their own
+// snapshot manager and auto-refresher, ingest batches routed to the
+// owning shard's gate so they apply concurrently, and every query
+// running scatter-gather across the shards' pinned snapshots — same
+// endpoints, same wire format.
+//
 // Endpoints:
 //
 //	POST /ingest            JSON [{"u":1,"v":2,"t":3,"op":"insert"}, ...]
@@ -44,6 +51,7 @@ import (
 	"snapdyn/internal/graphio"
 	"snapdyn/internal/qserve"
 	"snapdyn/internal/rmat"
+	"snapdyn/internal/shard"
 	"snapdyn/internal/snapmgr"
 	"snapdyn/internal/stream"
 )
@@ -59,7 +67,8 @@ type config struct {
 	undirected bool
 
 	workers      int // ingest + refresh parallelism
-	queryWorkers int // kernel parallelism per query
+	shards       int // vertex-partitioned shard workers (<= 1 = single store)
+	queryWorkers int // kernel parallelism per query (single-shard engine)
 	maxQueries   int // concurrent query slots
 	maxQueue     int // waiting queries before shedding
 
@@ -68,17 +77,17 @@ type config struct {
 	refreshPoll  time.Duration
 }
 
-// service is a fully assembled serving stack: the tracked store behind
-// an auto-refreshing snapshot manager, the executor pool, and the HTTP
-// handler.
+// service is a fully assembled serving stack: tracked storage behind
+// auto-refreshing snapshot management (one store, or a fleet of
+// vertex-partitioned shards), the executor pool, and the HTTP handler.
 type service struct {
-	mgr *snapmgr.Manager
-	ex  *qserve.Executor
-	srv *qserve.Server
+	ex   qserve.Engine
+	srv  *qserve.Server
+	stop func()
 }
 
-// buildService loads or generates the graph, builds the manager and
-// executor, and starts the auto-refresher.
+// buildService loads or generates the graph, builds the manager (or
+// shard fleet) and executor, and starts the auto-refresher(s).
 func buildService(cfg config) (*service, error) {
 	var edges []edge.Edge
 	var n int
@@ -101,35 +110,56 @@ func buildService(cfg config) (*service, error) {
 		}
 	}
 
-	store := dyngraph.NewTracked(dyngraph.NewHybrid(n, 4*len(edges), 0, cfg.seed))
 	ups := stream.Inserts(edges)
 	if cfg.undirected {
 		ups = stream.Mirror(ups)
 	}
-	store.ApplyBatch(cfg.workers, ups)
-
-	mgr := snapmgr.New(cfg.workers, store)
-	mgr.Start(snapmgr.Policy{
+	policy := snapmgr.Policy{
 		MaxDirty: cfg.refreshDirty,
 		MaxAge:   cfg.refreshAge,
 		Poll:     cfg.refreshPoll,
 		Workers:  cfg.workers,
-	})
-	ex := qserve.New(mgr, qserve.Config{
+	}
+	qcfg := qserve.Config{
 		Workers:       cfg.queryWorkers,
 		MaxConcurrent: cfg.maxQueries,
 		MaxQueue:      cfg.maxQueue,
 		Undirected:    cfg.undirected,
-	})
+	}
+
+	if cfg.shards > 1 {
+		// Fleet path: one tracked store + manager + auto-refresher per
+		// shard, ingest routed by vertex owner, queries scatter-gather.
+		fleet := shard.New(n, shard.Config{
+			Shards:        cfg.shards,
+			Workers:       cfg.workers,
+			ExpectedEdges: 4 * len(ups),
+		})
+		fleet.Ingest(cfg.workers, ups)
+		fleet.Refresh(cfg.workers)
+		fleet.Start(policy)
+		ex := shard.NewExecutor(fleet, qcfg)
+		return &service{
+			ex:   ex,
+			srv:  qserve.NewServer(ex, cfg.undirected, cfg.workers),
+			stop: fleet.Stop,
+		}, nil
+	}
+
+	store := dyngraph.NewTracked(dyngraph.NewHybrid(n, 4*len(edges), 0, cfg.seed))
+	store.ApplyBatch(cfg.workers, ups)
+	mgr := snapmgr.New(cfg.workers, store)
+	mgr.Start(policy)
+	ex := qserve.New(mgr, qcfg)
 	return &service{
-		mgr: mgr,
-		ex:  ex,
-		srv: qserve.NewServer(ex, cfg.undirected, cfg.workers),
+		ex:   ex,
+		srv:  qserve.NewServer(ex, cfg.undirected, cfg.workers),
+		stop: mgr.Stop,
 	}, nil
 }
 
-// close stops the background refresher.
-func (s *service) close() { s.mgr.Stop() }
+// close stops the background refresher(s).
+func (s *service) close() { s.stop() }
 
 func main() {
 	var (
@@ -141,6 +171,7 @@ func main() {
 		seed       = flag.Uint64("seed", 20090525, "random seed")
 		undirected = flag.Bool("undirected", true, "maintain mirror arcs (enables direction-optimizing queries)")
 		workers    = flag.Int("workers", 0, "ingest/refresh parallelism (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 1, "vertex-partitioned shard workers; >1 serves a scatter-gather fleet")
 		qworkers   = flag.Int("qworkers", 1, "kernel parallelism per query")
 		qmax       = flag.Int("qmax", 0, "max concurrent queries (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "max waiting queries before shedding (0 = 2*qmax)")
@@ -158,6 +189,7 @@ func main() {
 		seed:         *seed,
 		undirected:   *undirected,
 		workers:      *workers,
+		shards:       *shards,
 		queryWorkers: *qworkers,
 		maxQueries:   *qmax,
 		maxQueue:     *queue,

@@ -21,7 +21,13 @@ import (
 // /healthz reports monotonically non-decreasing epochs that actually
 // advance (the background auto-refresher is doing the publishing — no
 // explicit refresh call anywhere in this test). Run under -race in CI.
-func TestServiceSmoke(t *testing.T) {
+func TestServiceSmoke(t *testing.T) { runServiceSmoke(t, 1) }
+
+// TestServiceSmokeSharded is the same smoke over the scatter-gather
+// fleet engine: identical HTTP surface, -shards 4 underneath.
+func TestServiceSmokeSharded(t *testing.T) { runServiceSmoke(t, 4) }
+
+func runServiceSmoke(t *testing.T, shards int) {
 	svc, err := buildService(config{
 		scale:        9,
 		edgeFactor:   8,
@@ -29,6 +35,7 @@ func TestServiceSmoke(t *testing.T) {
 		seed:         42,
 		undirected:   true,
 		workers:      2,
+		shards:       shards,
 		queryWorkers: 1,
 		maxQueries:   4,
 		maxQueue:     1 << 20, // never shed: the smoke asserts all-200s

@@ -79,6 +79,24 @@
 //     queue-or-shed admission control, and cmd/snapserve exposes the
 //     whole stack as an HTTP/JSON daemon with /ingest, /query/*,
 //     /stats, and /healthz endpoints.
+//   - A vertex-partitioned sharding layer behind the same facade
+//     (NewSharded, internal/shard): vertex u is owned by shard u % P,
+//     and each of the P shard workers runs its own Tracked store +
+//     snapshot manager + auto-refresher, so ingest parallelizes across
+//     P independent gates instead of serializing on one RWMutex. Every
+//     shard's store spans the full vertex set but holds only its owned
+//     vertices' out-arcs; the union of the per-shard CSRs is exactly
+//     the global graph. Queries scatter-gather over one pinned
+//     snapshot per shard: BFS and delta-stepping SSSP run
+//     level-synchronously with a cross-shard frontier exchange per
+//     level (results bit-identical to the single-snapshot kernels),
+//     components merge per-shard labels, stats fan out and reduce.
+//     The fleet plugs into the same qserve executor interface, and
+//     cmd/snapserve serves it behind -shards N with an unchanged HTTP
+//     surface. Weight-sorted adjacency in wcsr (arcs sorted by
+//     (weight, neighbor) at Rebuild) makes a delta change a
+//     binary-search re-split (Retarget, O(n log maxdeg)) instead of a
+//     rebuild, fixing mixed-delta scratch thrash in qserve.
 //   - The R-MAT generator and update-stream tooling used by the paper's
 //     evaluation, one benchmark driver per paper figure, a unified
 //     kernel sweep (cmd/snapbench -fig kernel
@@ -116,4 +134,12 @@
 // DeleteEdge) — any number of them proceed concurrently, and the gate
 // serializes them against background refreshes without ever blocking
 // readers.
+//
+// A ShardedGraph carries the same contracts per shard: per-shard epochs
+// are independently monotone (the facade's Epoch is their sum), gated
+// ingest routes every update through its owning shard's gate, and a
+// query pins one snapshot per shard for its whole lifetime — per-shard
+// reads are mutually consistent, but two shards may expose different
+// ingest prefixes, exactly as a single-store reader may hold a snapshot
+// older than the newest batch.
 package snapdyn

@@ -21,14 +21,41 @@ import (
 // edges). Labels are canonical vertex ids (the minimum id reachable by
 // the hooking process, a component representative).
 func Components(workers int, g *csr.Graph) []uint32 {
+	return ComponentsInto(workers, g, nil)
+}
+
+// ComponentsInto is Components into a caller-owned label slice, reused
+// when its capacity covers the vertex set — the scratch-pool path that
+// keeps repeated component queries at zero allocations.
+func ComponentsInto(workers int, g *csr.Graph, comp []uint32) []uint32 {
 	n := g.N
-	comp := make([]uint32, n)
+	if cap(comp) < n {
+		comp = make([]uint32, n)
+	} else {
+		comp = comp[:n]
+	}
 	for i := range comp {
 		comp[i] = uint32(i)
 	}
 	if n == 0 {
 		return comp
 	}
+	// Dedicated serial path at workers == 1: the parallel fan-out lives
+	// in its own function because its closures capture comp, which would
+	// otherwise move the local to the heap on every call (escape
+	// analysis is not flow-sensitive) — the pooled serving path must
+	// stay at zero allocations per query.
+	if workers == 1 {
+		return componentsSerial(g, comp)
+	}
+	componentsParallel(workers, g, comp)
+	return comp
+}
+
+// componentsParallel is the hook-and-compress iteration with parallel
+// fan-out per phase.
+func componentsParallel(workers int, g *csr.Graph, comp []uint32) {
+	n := g.N
 	for {
 		var changed atomic.Bool
 		// Hook: for every arc (u,v), point the root of the larger label
@@ -70,6 +97,45 @@ func Components(workers int, g *csr.Graph) []uint32 {
 			}
 		})
 		if !changed.Load() {
+			return
+		}
+	}
+}
+
+// componentsSerial is the closure-free hook-and-compress iteration; it
+// converges to the same canonical labels (the component minimum) as the
+// parallel path.
+func componentsSerial(g *csr.Graph, comp []uint32) []uint32 {
+	n := g.N
+	for {
+		changed := false
+		for u := 0; u < n; u++ {
+			adj, _ := g.Neighbors(edge.ID(u))
+			cu := comp[u]
+			for _, v := range adj {
+				cv := comp[v]
+				if cu == cv {
+					continue
+				}
+				hi, lo := cu, cv
+				if hi < lo {
+					hi, lo = lo, hi
+				}
+				if comp[hi] == hi {
+					comp[hi] = lo
+					changed = true
+				}
+				cu = comp[u]
+			}
+		}
+		for u := range comp {
+			c := comp[u]
+			for comp[c] != c {
+				c = comp[c]
+			}
+			comp[u] = c
+		}
+		if !changed {
 			return comp
 		}
 	}
@@ -94,7 +160,30 @@ func Count(comp []uint32) int {
 // into a dense O(n) slice instead of a map; the census and the max scan
 // both run in parallel.
 func Largest(workers int, comp []uint32) (label uint32, size int) {
-	sizes := Census(workers, comp)
+	return LargestInto(workers, comp, nil)
+}
+
+// LargestInto is Largest with a caller-owned census buffer (see
+// CensusInto). With workers <= 1 it allocates nothing.
+func LargestInto(workers int, comp []uint32, sizes []int) (label uint32, size int) {
+	return LargestOf(workers, CensusInto(workers, comp, sizes))
+}
+
+// LargestOf scans an existing census for the largest component
+// (smallest label on ties) without redoing the count — the second half
+// of Largest, for callers that also want the census itself.
+func LargestOf(workers int, sizes []int) (label uint32, size int) {
+	// Serial max scan below the parallel-census cutoff (and always at
+	// workers <= 1): no reduce closures, so the pooled serving path
+	// stays at zero allocations.
+	if workers <= 1 || len(sizes) < censusParCutoff {
+		for i, s := range sizes {
+			if s > size {
+				label, size = uint32(i), s
+			}
+		}
+		return label, size
+	}
 	type best struct {
 		label uint32
 		size  int
@@ -128,8 +217,23 @@ const censusParCutoff = 1 << 14
 // private arrays cost O(workers · n) ints, the usual trade for
 // contention-free counting at snapshot scale.
 func Census(workers int, comp []uint32) []int {
+	return CensusInto(workers, comp, nil)
+}
+
+// CensusInto is Census into a caller-owned count slice, reused when its
+// capacity covers the label space. The serial path (small inputs or
+// workers <= 1) then allocates nothing; the parallel path still builds
+// its per-worker private count arrays.
+func CensusInto(workers int, comp []uint32, sizes []int) []int {
 	n := len(comp)
-	sizes := make([]int, n)
+	if cap(sizes) < n {
+		sizes = make([]int, n)
+	} else {
+		sizes = sizes[:n]
+		for i := range sizes {
+			sizes[i] = 0
+		}
+	}
 	if workers <= 0 {
 		workers = par.MaxWorkers()
 	}

@@ -1,0 +1,215 @@
+package dyngraph
+
+import (
+	"testing"
+
+	"snapdyn/internal/edge"
+	"snapdyn/internal/xrand"
+)
+
+// TestVpartBalanceBounds pins the vertex-partition rule itself: u mod P
+// splits [0, n) into P parts whose sizes differ by at most one, for any
+// n — the static balance guarantee the paper's Vpart scheme relies on
+// (each vertex has exactly one writer, and no writer owns more than
+// ceil(n/P) vertices).
+func TestVpartBalanceBounds(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 1000, 1 << 12} {
+		for _, p := range []int{1, 2, 3, 4, 7, 8, 13} {
+			counts := make([]int, p)
+			for u := 0; u < n; u++ {
+				counts[u%p]++
+			}
+			lo, hi := n, 0
+			for _, c := range counts {
+				lo, hi = min(lo, c), max(hi, c)
+			}
+			if hi-lo > 1 {
+				t.Fatalf("n=%d p=%d: owned-vertex counts span [%d,%d]", n, p, lo, hi)
+			}
+			if hi > (n+p-1)/p {
+				t.Fatalf("n=%d p=%d: max owner load %d > ceil(n/p)", n, p, hi)
+			}
+		}
+	}
+}
+
+// partitionStreams builds an insert batch with unique time labels and a
+// delete batch removing every other inserted edge exactly once, so the
+// end state is deterministic under both tuple-exact and label-ignoring
+// delete semantics (the oracle ignores labels).
+func partitionStreams(r *xrand.State, n, count int) (ins, dels []edge.Update) {
+	for i := 0; i < count; i++ {
+		ins = append(ins, edge.Update{
+			Edge: edge.Edge{U: r.Uint32n(uint32(n)), V: r.Uint32n(uint32(n)), T: uint32(i + 1)},
+			Op:   edge.Insert,
+		})
+	}
+	for i := 0; i < len(ins); i += 2 {
+		dels = append(dels, edge.Update{Edge: ins[i].Edge, Op: edge.Delete})
+	}
+	return ins, dels
+}
+
+// TestVpartOwnershipRoundTrip applies the same batches at every worker
+// count and checks the store against the oracle: although every worker
+// scans the entire stream, each update is applied exactly once — by its
+// owner — so the resulting graph is independent of P (no duplicated or
+// dropped updates).
+func TestVpartOwnershipRoundTrip(t *testing.T) {
+	const n = 64
+	r := xrand.New(77)
+	ins, dels := partitionStreams(r, n, 2000)
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		s := NewVpart(n, 64)
+		o := NewOracle(n)
+		s.ApplyBatch(workers, ins)
+		s.ApplyBatch(workers, dels)
+		o.ApplyBatch(1, ins)
+		o.ApplyBatch(1, dels)
+		stateMatches(t, s, o)
+	}
+}
+
+// TestVpartDeterministicAcrossWorkers checks a stronger property than
+// the oracle multiset: per-vertex adjacency *sequences* are identical
+// for every worker count. Each vertex has a single writer that applies
+// its updates in stream order, so the layout cannot depend on P.
+func TestVpartDeterministicAcrossWorkers(t *testing.T) {
+	const n = 48
+	r := xrand.New(78)
+	ins, dels := partitionStreams(r, n, 1500)
+	type arc struct {
+		v edge.ID
+		t uint32
+	}
+	seq := func(workers int) [][]arc {
+		s := NewVpart(n, 64)
+		s.ApplyBatch(workers, ins)
+		s.ApplyBatch(workers, dels)
+		out := make([][]arc, n)
+		for u := 0; u < n; u++ {
+			s.Neighbors(edge.ID(u), func(v edge.ID, t uint32) bool {
+				out[u] = append(out[u], arc{v, t})
+				return true
+			})
+		}
+		return out
+	}
+	want := seq(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := seq(workers)
+		for u := range want {
+			if len(got[u]) != len(want[u]) {
+				t.Fatalf("workers=%d: vertex %d degree %d != %d", workers, u, len(got[u]), len(want[u]))
+			}
+			for i := range want[u] {
+				if got[u][i] != want[u][i] {
+					t.Fatalf("workers=%d: vertex %d arc %d = %v, want %v",
+						workers, u, i, got[u][i], want[u][i])
+				}
+			}
+		}
+	}
+}
+
+// TestEpartBlockWorkerBalance verifies blockWorker against the static
+// block decomposition it mirrors: every index maps to exactly the
+// worker whose contiguous block contains it, and block sizes differ by
+// at most one.
+func TestEpartBlockWorkerBalance(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 8} {
+		for _, n := range []int{0, 1, 5, 7, 8, 64, 1000} {
+			// Rebuild par.ForBlock's partition: r blocks of q+1, then q.
+			q, r := n/workers, n%workers
+			idx := 0
+			for w := 0; w < workers; w++ {
+				size := q
+				if w < r {
+					size++
+				}
+				for i := 0; i < size; i++ {
+					if got := blockWorker(workers, n, idx); got != w {
+						t.Fatalf("workers=%d n=%d: blockWorker(%d) = %d, want %d",
+							workers, n, idx, got, w)
+					}
+					idx++
+				}
+			}
+			if idx != n {
+				t.Fatalf("workers=%d n=%d: partition covered %d indices", workers, n, idx)
+			}
+		}
+	}
+}
+
+// TestEpartOwnershipRoundTrip drives Epart with a hot-vertex-heavy
+// stream — a star on vertex 0 well past the hot threshold plus random
+// background traffic — so the buffered-insert path and merge step are
+// exercised, then checks the result against the oracle at every worker
+// count.
+func TestEpartOwnershipRoundTrip(t *testing.T) {
+	const n = 64
+	r := xrand.New(79)
+	ins, dels := partitionStreams(r, n, 800)
+	star := make([]edge.Update, 0, 512)
+	for i := 0; i < 512; i++ {
+		star = append(star, edge.Update{
+			Edge: edge.Edge{U: 0, V: edge.ID(1 + i%(n-1)), T: uint32(i)},
+			Op:   edge.Insert,
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		s := NewEpart(n, 256, 4)
+		o := NewOracle(n)
+		// Three batches: random inserts make vertex 0 hot, the star then
+		// hits the buffered path from the start, deletes come last so
+		// they never race deferred inserts within a batch.
+		for _, batch := range [][]edge.Update{ins, star, dels} {
+			s.ApplyBatch(workers, batch)
+			o.ApplyBatch(1, batch)
+		}
+		stateMatches(t, s, o)
+		if s.Degree(0) <= s.HotThresh {
+			t.Fatalf("workers=%d: star vertex degree %d never crossed hot threshold %d",
+				workers, s.Degree(0), s.HotThresh)
+		}
+	}
+}
+
+// TestEpartDeterministicSerial checks sequence-level determinism of the
+// merge step at workers=1: two fresh stores fed the same stream lay out
+// identical adjacency sequences (the semi-sort and group append are
+// deterministic; only multi-worker lock interleaving may reorder).
+func TestEpartDeterministicSerial(t *testing.T) {
+	const n = 32
+	r := xrand.New(80)
+	ins, dels := partitionStreams(r, n, 1000)
+	type arc struct {
+		v edge.ID
+		t uint32
+	}
+	run := func() [][]arc {
+		s := NewEpart(n, 64, 4)
+		s.ApplyBatch(1, ins)
+		s.ApplyBatch(1, dels)
+		out := make([][]arc, n)
+		for u := 0; u < n; u++ {
+			s.Neighbors(edge.ID(u), func(v edge.ID, t uint32) bool {
+				out[u] = append(out[u], arc{v, t})
+				return true
+			})
+		}
+		return out
+	}
+	a, b := run(), run()
+	for u := range a {
+		if len(a[u]) != len(b[u]) {
+			t.Fatalf("vertex %d: degrees differ across runs", u)
+		}
+		for i := range a[u] {
+			if a[u][i] != b[u][i] {
+				t.Fatalf("vertex %d arc %d differs across runs: %v vs %v", u, i, a[u][i], b[u][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package qserve
+
+import "sync/atomic"
+
+// Admission is the executor pool's queue-or-shed gate, factored out so
+// any query engine (the single-shard Executor here, the sharded fleet
+// executor in internal/shard) enforces the same bounded-latency
+// policy: up to maxConcurrent holders at once, up to maxQueue waiters,
+// everything beyond shed immediately with ErrOverloaded.
+type Admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+	served   atomic.Uint64
+	shed     atomic.Uint64
+}
+
+// NewAdmission builds a gate for maxConcurrent concurrent holders and
+// maxQueue waiters (both already defaulted by the caller).
+func NewAdmission(maxConcurrent, maxQueue int) *Admission {
+	return &Admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Capacity returns the concurrent-holder bound.
+func (a *Admission) Capacity() int { return cap(a.slots) }
+
+// Acquire takes a slot, queueing when none is free and there is queue
+// room, shedding with ErrOverloaded otherwise.
+func (a *Admission) Acquire() error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+		if a.waiting.Add(1) > a.maxQueue {
+			a.waiting.Add(-1)
+			a.shed.Add(1)
+			return ErrOverloaded
+		}
+		a.slots <- struct{}{}
+		a.waiting.Add(-1)
+		return nil
+	}
+}
+
+// Release frees the slot and counts the query as served.
+func (a *Admission) Release() {
+	<-a.slots
+	a.served.Add(1)
+}
+
+// Counters returns a point-in-time view of gate activity.
+func (a *Admission) Counters() Counters {
+	return Counters{
+		Served:   a.served.Load(),
+		Shed:     a.shed.Load(),
+		Inflight: len(a.slots),
+		Waiting:  int(a.waiting.Load()),
+	}
+}

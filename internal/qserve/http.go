@@ -8,29 +8,30 @@ import (
 	"strconv"
 	"time"
 
-	"snapdyn/internal/dyngraph"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/stream"
 )
 
-// Server exposes an Executor over HTTP/JSON — the snapserve daemon's
-// handler set. Query endpoints go through the executor's admission
-// control (503 when shed); /ingest applies update batches through the
-// manager's refresh gate, so it is safe concurrently with the
-// background auto-refresher; /healthz and /stats bypass admission so
-// the service stays observable under overload.
+// Server exposes a query Engine over HTTP/JSON — the snapserve
+// daemon's handler set, engine-agnostic: the same routes serve a
+// single-snapshot Executor or a sharded fleet. Query endpoints go
+// through the engine's admission control (503 when shed); /ingest
+// applies update batches through the engine's refresh gate(s), so it
+// is safe concurrently with background auto-refreshers; /healthz and
+// /stats bypass admission so the service stays observable under
+// overload.
 type Server struct {
-	ex *Executor
+	eng Engine
 	// undirected mirrors ingest batches, matching the facade's
 	// undirected Graph semantics.
 	undirected    bool
 	ingestWorkers int
 }
 
-// NewServer wraps an executor. ingestWorkers is the parallelism of
+// NewServer wraps a query engine. ingestWorkers is the parallelism of
 // batch application; undirected mirrors every ingested update.
-func NewServer(ex *Executor, undirected bool, ingestWorkers int) *Server {
-	return &Server{ex: ex, undirected: undirected, ingestWorkers: ingestWorkers}
+func NewServer(eng Engine, undirected bool, ingestWorkers int) *Server {
+	return &Server{eng: eng, undirected: undirected, ingestWorkers: ingestWorkers}
 }
 
 // Handler returns the route table.
@@ -81,7 +82,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	reply, err := s.ex.BFS(src)
+	reply, err := s.eng.BFS(src)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -103,7 +104,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	reply, err := s.ex.SSSP(src, delta)
+	reply, err := s.eng.SSSP(src, delta)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -122,7 +123,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	reply, err := s.ex.Connected(u, v)
+	reply, err := s.eng.Connected(u, v)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -131,7 +132,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
-	reply, err := s.ex.Components()
+	reply, err := s.eng.Components()
 	if err != nil {
 		httpError(w, err)
 		return
@@ -140,11 +141,11 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ex.Stats())
+	writeJSON(w, s.eng.Stats())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	met := s.ex.Manager().Metrics()
+	met := s.eng.Metrics()
 	writeJSON(w, Health{
 		Status:        "ok",
 		Epoch:         met.Epoch,
@@ -154,7 +155,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		AutoRefreshes: met.AutoRefreshes,
 		LastRefreshMs: durMs(met.LastLatency),
 		MaxRefreshMs:  durMs(met.MaxLatency),
-		Counters:      s.ex.Counters(),
+		Counters:      s.eng.Counters(),
 	})
 }
 
@@ -164,8 +165,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, badParam("body", err))
 		return
 	}
-	mgr := s.ex.Manager()
-	n := uint32(mgr.Store().NumVertices())
+	n := uint32(s.eng.NumVertices())
 	batch := make([]edge.Update, len(wire))
 	for i, u := range wire {
 		// Reject out-of-range endpoints up front: past this point the
@@ -190,8 +190,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.undirected {
 		batch = stream.Mirror(batch)
 	}
-	mgr.Ingest(func(t *dyngraph.Tracked) { t.ApplyBatch(s.ingestWorkers, batch) })
-	writeJSON(w, IngestReply{Applied: len(wire), Epoch: mgr.Epoch(), Staleness: mgr.Staleness()})
+	s.eng.Ingest(s.ingestWorkers, batch)
+	met := s.eng.Metrics()
+	writeJSON(w, IngestReply{Applied: len(wire), Epoch: met.Epoch, Staleness: met.Staleness})
 }
 
 // errBadRequest wraps parameter errors so httpError maps them to 400.

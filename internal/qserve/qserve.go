@@ -21,10 +21,11 @@ package qserve
 
 import (
 	"errors"
-	"sync/atomic"
 
 	"snapdyn/internal/cc"
 	"snapdyn/internal/csr"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
 	"snapdyn/internal/par"
 	"snapdyn/internal/snapmgr"
 	"snapdyn/internal/sssp"
@@ -56,7 +57,8 @@ type Config struct {
 	Undirected bool
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults fills unset fields with the serving defaults.
+func (c Config) WithDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
@@ -78,6 +80,11 @@ type scratchSet struct {
 	res  traversal.Result
 	ssp  *sssp.Scratch
 	src  [1]uint32
+
+	// comp and sizes are the component query's label array and census,
+	// pool-owned so Components allocates nothing per request.
+	comp  []uint32
+	sizes []int
 
 	connTarget uint32
 	connHook   func(int32, int) bool
@@ -113,42 +120,65 @@ type Counters struct {
 	Waiting  int    `json:"waiting"`
 }
 
+// Engine is the query surface the HTTP server (and any other frontend)
+// serves: the five query types plus ingest, admission counters, and
+// refresh health. The single-snapshot Executor implements it, and so
+// does the sharded fleet executor in internal/shard — one facade, two
+// engines.
+type Engine interface {
+	BFS(src uint32) (BFSReply, error)
+	SSSP(src uint32, delta int64) (SSSPReply, error)
+	Connected(u, v uint32) (ConnReply, error)
+	Components() (ComponentsReply, error)
+	Stats() StatsReply
+	Counters() Counters
+	// NumVertices is the fixed vertex-set size, for ingest validation.
+	NumVertices() int
+	// Ingest applies a batch through the engine's refresh gate(s).
+	Ingest(workers int, batch []edge.Update)
+	// Metrics aggregates refresh activity and current lag.
+	Metrics() snapmgr.Metrics
+}
+
 // Executor runs queries against mgr.Current() with pooled scratch and
 // bounded admission. All methods are safe for concurrent use.
 type Executor struct {
-	mgr *snapmgr.Manager
-	cfg Config
-
-	slots   chan struct{} // acquired for the duration of one query
-	free    chan *scratchSet
-	waiting atomic.Int64
-	served  atomic.Uint64
-	shed    atomic.Uint64
+	mgr  *snapmgr.Manager
+	cfg  Config
+	adm  *Admission
+	free chan *scratchSet
 }
+
+var _ Engine = (*Executor)(nil)
 
 // New returns an executor over the manager's published snapshots.
 func New(mgr *snapmgr.Manager, cfg Config) *Executor {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	return &Executor{
-		mgr:   mgr,
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.MaxConcurrent),
-		free:  make(chan *scratchSet, cfg.MaxConcurrent),
+		mgr:  mgr,
+		cfg:  cfg,
+		adm:  NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		free: make(chan *scratchSet, cfg.MaxConcurrent),
 	}
 }
 
 // Manager returns the snapshot manager the executor serves from.
 func (e *Executor) Manager() *snapmgr.Manager { return e.mgr }
 
-// Counters returns a point-in-time view of executor activity.
-func (e *Executor) Counters() Counters {
-	return Counters{
-		Served:   e.served.Load(),
-		Shed:     e.shed.Load(),
-		Inflight: len(e.slots),
-		Waiting:  int(e.waiting.Load()),
-	}
+// NumVertices returns the managed store's fixed vertex-set size.
+func (e *Executor) NumVertices() int { return e.mgr.Store().NumVertices() }
+
+// Ingest applies a batch through the manager's refresh gate, safe
+// concurrently with queries and the auto-refresher.
+func (e *Executor) Ingest(workers int, batch []edge.Update) {
+	e.mgr.Ingest(func(t *dyngraph.Tracked) { t.ApplyBatch(workers, batch) })
 }
+
+// Metrics returns the manager's refresh metrics.
+func (e *Executor) Metrics() snapmgr.Metrics { return e.mgr.Metrics() }
+
+// Counters returns a point-in-time view of executor activity.
+func (e *Executor) Counters() Counters { return e.adm.Counters() }
 
 // checkout admits the query (queue-or-shed), then hands out the current
 // snapshot, its epoch lower bound, and a scratch set. Scratch objects
@@ -156,17 +186,8 @@ func (e *Executor) Counters() Counters {
 // list is slot-capacity sized, so at most MaxConcurrent sets exist and
 // a release never drops one.
 func (e *Executor) checkout() (*csr.Graph, uint64, *scratchSet, error) {
-	select {
-	case e.slots <- struct{}{}:
-	default:
-		// No free slot: queue if there is room, shed otherwise.
-		if e.waiting.Add(1) > int64(e.cfg.MaxQueue) {
-			e.waiting.Add(-1)
-			e.shed.Add(1)
-			return nil, 0, nil, ErrOverloaded
-		}
-		e.slots <- struct{}{}
-		e.waiting.Add(-1)
+	if err := e.adm.Acquire(); err != nil {
+		return nil, 0, nil, err
 	}
 	var s *scratchSet
 	select {
@@ -186,8 +207,7 @@ func (e *Executor) checkout() (*csr.Graph, uint64, *scratchSet, error) {
 // query that wakes always finds a warm set on the free list.
 func (e *Executor) release(s *scratchSet) {
 	e.free <- s
-	<-e.slots
-	e.served.Add(1)
+	e.adm.Release()
 }
 
 // strategy picks the traversal engine for BFS-shaped queries.
@@ -312,17 +332,20 @@ type ComponentsReply struct {
 }
 
 // Components labels weakly-connected components over the current
-// snapshot. Unlike the traversal queries it allocates its O(n) label
-// array per request (the component kernel owns no pooled scratch).
+// snapshot. The label array and its census live in the pooled scratch
+// (cc.ComponentsInto / cc.CensusInto), so the steady state allocates
+// nothing per request at the serving config (Workers = 1; the parallel
+// census path still builds per-worker partial counts).
 func (e *Executor) Components() (ComponentsReply, error) {
 	g, epoch, s, err := e.checkout()
 	if err != nil {
 		return ComponentsReply{}, err
 	}
 	defer e.release(s)
-	comp := cc.Components(e.cfg.Workers, g)
-	_, size := cc.Largest(e.cfg.Workers, comp)
-	return ComponentsReply{Components: cc.Count(comp), LargestSize: size, Epoch: epoch}, nil
+	s.comp = cc.ComponentsInto(e.cfg.Workers, g, s.comp)
+	s.sizes = cc.CensusInto(e.cfg.Workers, s.comp, s.sizes)
+	_, size := cc.LargestOf(e.cfg.Workers, s.sizes)
+	return ComponentsReply{Components: cc.Count(s.comp), LargestSize: size, Epoch: epoch}, nil
 }
 
 // StatsReply summarizes the served snapshot and the serving state.

@@ -117,8 +117,8 @@ func TestAdmissionShedsBeyondQueue(t *testing.T) {
 
 	// Occupy both execution slots with queries blocked inside checkout
 	// by holding the slots channel full from the outside first.
-	ex.slots <- struct{}{}
-	ex.slots <- struct{}{}
+	ex.adm.slots <- struct{}{}
+	ex.adm.slots <- struct{}{}
 
 	// One waiter is admitted to the queue.
 	done := make(chan error, 2)
@@ -140,8 +140,8 @@ func TestAdmissionShedsBeyondQueue(t *testing.T) {
 	}
 
 	// Free the slots; the queued query completes fine.
-	<-ex.slots
-	<-ex.slots
+	<-ex.adm.slots
+	<-ex.adm.slots
 	if err := <-done; err != nil {
 		t.Fatalf("queued query failed: %v", err)
 	}
@@ -301,4 +301,37 @@ func TestConcurrentQueriesUnderIngest(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestComponentsPooledZeroAlloc pins the dst-slice components path: the
+// scratch pool owns the label and census buffers, so steady-state
+// component queries allocate nothing at Workers=1 (parallel reductions
+// allocate fan-out closures, so the guarantee is for the serial path).
+func TestComponentsPooledZeroAlloc(t *testing.T) {
+	mgr, _ := newManager(t, 9, 17)
+	ex := New(mgr, Config{Undirected: true, Workers: 1, MaxConcurrent: 1})
+
+	// Correctness first: the pooled reply matches the one-shot kernels.
+	g := mgr.Current()
+	comp := cc.Components(1, g)
+	_, wantLargest := cc.Largest(1, comp)
+	reply, err := ex.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Components != cc.Count(comp) || reply.LargestSize != wantLargest {
+		t.Fatalf("pooled components = %+v, want %d components / largest %d",
+			reply, cc.Count(comp), wantLargest)
+	}
+
+	if _, err := ex.Components(); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(20, func() {
+		if _, err := ex.Components(); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Fatalf("steady-state components query allocates %.1f objects/op, want 0", n)
+	}
 }

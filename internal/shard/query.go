@@ -1,0 +1,237 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/par"
+)
+
+// NotVisited marks an unreached vertex in a BFS level array — the same
+// sentinel the single-shard traversal engine uses, so level arrays are
+// directly comparable.
+const NotVisited = int32(-1)
+
+// Scratch is the reusable arena for scatter-gather queries over one
+// fleet's pinned view set: the global level/distance/label arrays, the
+// per-shard frontiers, the P×P frontier-exchange buckets, and the
+// cached per-shard weighted views for SSSP. Buffers are (re)sized on
+// use for whatever shard count and vertex count the views present. A
+// Scratch must not be shared by concurrent queries; the slices a query
+// returns are overwritten by the next query on the same Scratch.
+type Scratch struct {
+	// BFS state: one frontier per shard (owned vertices only) and the
+	// exchange matrix xbuf[s][d] = vertices shard s discovered that
+	// shard d owns, swapped into cur[d] at each level barrier.
+	level []int32
+	cur   [][]uint32
+	xbuf  [][][]uint32
+
+	// Components state.
+	comp []uint32
+
+	// Stats reduction slots, one per shard.
+	arcs []int64
+	maxd []int64
+
+	sp ssspState
+}
+
+// NewScratch returns an empty arena; buffers are sized on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensureExchange sizes the frontier-exchange machinery for p shards.
+func (sc *Scratch) ensureExchange(p int) {
+	if len(sc.cur) != p {
+		sc.cur = make([][]uint32, p)
+		xb := make([][][]uint32, p)
+		for s := range xb {
+			xb[s] = make([][]uint32, p)
+		}
+		sc.xbuf = xb
+	}
+}
+
+func ensureInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// BFS runs a level-synchronous scatter-gather breadth-first search from
+// src over the pinned per-shard views, returning the scratch-owned
+// level array plus the reached-vertex and level counts. Each level,
+// every shard expands its owned slice of the frontier against its local
+// CSR and claims discoveries with a CAS on the shared level array;
+// remote discoveries are bucketed by owner and swapped at the level
+// barrier. Level values are order-independent, so the returned array is
+// identical to the single-shard engine's. The traversal is push-only
+// (top-down): direction-optimizing needs a global reverse view no shard
+// has.
+func (sc *Scratch) BFS(views []*csr.Graph, src uint32) ([]int32, int, int) {
+	return sc.bfs(views, src, ^uint32(0))
+}
+
+// STConnected reports whether target is reachable from src, and at how
+// many hops, stopping at the first level barrier that claims target.
+func (sc *Scratch) STConnected(views []*csr.Graph, src, target uint32) (hops int32, ok bool) {
+	level, _, _ := sc.bfs(views, src, target)
+	h := level[target]
+	return h, h != NotVisited
+}
+
+func (sc *Scratch) bfs(views []*csr.Graph, src uint32, target uint32) ([]int32, int, int) {
+	p := len(views)
+	n := views[0].N
+	sc.ensureExchange(p)
+	sc.level = ensureInt32(sc.level, n)
+	level := sc.level
+	par.ForBlock(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			level[i] = NotVisited
+		}
+	})
+	level[src] = 0
+	cur := sc.cur
+	for s := range cur {
+		cur[s] = cur[s][:0]
+	}
+	cur[int(src)%p] = append(cur[int(src)%p], src)
+
+	reached, levels, size := 1, 0, 1
+	for depth := int32(1); size > 0; depth++ {
+		levels++
+		par.Workers(p, func(s int) {
+			g := views[s]
+			xb := sc.xbuf[s]
+			for _, u := range cur[s] {
+				lo, hi := g.Offsets[u], g.Offsets[u+1]
+				for a := lo; a < hi; a++ {
+					v := g.Adj[a]
+					if atomic.LoadInt32(&level[v]) == NotVisited &&
+						atomic.CompareAndSwapInt32(&level[v], NotVisited, depth) {
+						xb[int(v)%p] = append(xb[int(v)%p], v)
+					}
+				}
+			}
+		})
+		// Gather at the barrier: shard d's next frontier is every
+		// shard's bucket of d-owned discoveries.
+		size = 0
+		for d := 0; d < p; d++ {
+			f := cur[d][:0]
+			for s := 0; s < p; s++ {
+				f = append(f, sc.xbuf[s][d]...)
+				sc.xbuf[s][d] = sc.xbuf[s][d][:0]
+			}
+			cur[d] = f
+			size += len(f)
+		}
+		reached += size
+		if target != ^uint32(0) && level[target] != NotVisited {
+			break
+		}
+	}
+	return level, reached, levels
+}
+
+// Components labels weakly-connected components over the pinned views
+// with the same hook-and-compress iteration as cc.Components, the hook
+// phase fanned out by shard ownership: shard s hooks over the arcs of
+// its owned vertices (strides s, s+P, ... — exactly the spans its local
+// CSR holds), the compress phase pointer-jumps the shared label array
+// block-parallel. Both converge to the component-minimum vertex id, so
+// the returned labels are identical to the single-shard kernel's. The
+// label array is scratch-owned.
+func (sc *Scratch) Components(views []*csr.Graph) []uint32 {
+	p := len(views)
+	n := views[0].N
+	if cap(sc.comp) < n {
+		sc.comp = make([]uint32, n)
+	} else {
+		sc.comp = sc.comp[:n]
+	}
+	comp := sc.comp
+	par.ForBlock(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			comp[i] = uint32(i)
+		}
+	})
+	if n == 0 {
+		return comp
+	}
+	for {
+		var changed atomic.Bool
+		par.Workers(p, func(s int) {
+			g := views[s]
+			for u := s; u < n; u += p {
+				lo, hi := g.Offsets[u], g.Offsets[u+1]
+				if lo == hi {
+					continue
+				}
+				cu := atomic.LoadUint32(&comp[u])
+				for a := lo; a < hi; a++ {
+					cv := atomic.LoadUint32(&comp[g.Adj[a]])
+					if cu == cv {
+						continue
+					}
+					hi32, lo32 := cu, cv
+					if hi32 < lo32 {
+						hi32, lo32 = lo32, hi32
+					}
+					if atomic.CompareAndSwapUint32(&comp[hi32], hi32, lo32) {
+						changed.Store(true)
+					}
+					cu = atomic.LoadUint32(&comp[u])
+				}
+			}
+		})
+		par.ForBlock(p, n, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				c := atomic.LoadUint32(&comp[u])
+				for {
+					cc := atomic.LoadUint32(&comp[c])
+					if cc == c {
+						break
+					}
+					c = cc
+				}
+				atomic.StoreUint32(&comp[u], c)
+			}
+		})
+		if !changed.Load() {
+			return comp
+		}
+	}
+}
+
+// Stats summarizes a pinned view set by per-shard fan-out/reduce.
+type Stats struct {
+	Vertices  int
+	Arcs      int64
+	MaxDegree int64
+}
+
+// Stats fans a degree scan out across the shards and reduces arc count
+// (sum) and max degree (max). Non-owned vertices have empty spans in
+// every shard, so the per-shard maxima cover exactly the global graph.
+func (sc *Scratch) Stats(views []*csr.Graph) Stats {
+	p := len(views)
+	if len(sc.arcs) != p {
+		sc.arcs = make([]int64, p)
+		sc.maxd = make([]int64, p)
+	}
+	par.Workers(p, func(s int) {
+		sc.arcs[s] = views[s].NumEdges()
+		sc.maxd[s] = views[s].MaxDegree()
+	})
+	st := Stats{Vertices: views[0].N}
+	for s := 0; s < p; s++ {
+		st.Arcs += sc.arcs[s]
+		if sc.maxd[s] > st.MaxDegree {
+			st.MaxDegree = sc.maxd[s]
+		}
+	}
+	return st
+}

@@ -1,0 +1,182 @@
+package shard
+
+import (
+	"snapdyn/internal/cc"
+	"snapdyn/internal/csr"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/qserve"
+	"snapdyn/internal/snapmgr"
+	"snapdyn/internal/sssp"
+)
+
+// Executor serves the qserve.Engine query surface from a Fleet: the
+// same admission policy (queue-or-shed) and pooled per-query scratch
+// as the single-shard executor, with every query running the
+// scatter-gather kernels over a pinned per-shard snapshot set. It
+// plugs into qserve.NewServer unchanged — one HTTP surface, either
+// engine.
+type Executor struct {
+	fleet *Fleet
+	cfg   qserve.Config
+	adm   *qserve.Admission
+	free  chan *scratchSet
+}
+
+var _ qserve.Engine = (*Executor)(nil)
+
+// scratchSet is one pooled unit of sharded query state: the
+// scatter-gather arena plus the pinned view set and the component
+// census buffer.
+type scratchSet struct {
+	sc    *Scratch
+	views []*csr.Graph
+	sizes []int
+}
+
+// NewExecutor returns a fleet executor. cfg.Workers is ignored: a
+// scatter-gather query's parallelism is the shard fan-out.
+func NewExecutor(f *Fleet, cfg qserve.Config) *Executor {
+	cfg = cfg.WithDefaults()
+	return &Executor{
+		fleet: f,
+		cfg:   cfg,
+		adm:   qserve.NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		free:  make(chan *scratchSet, cfg.MaxConcurrent),
+	}
+}
+
+// Fleet returns the shard fleet the executor serves from.
+func (e *Executor) Fleet() *Fleet { return e.fleet }
+
+// NumVertices returns the fleet's fixed vertex-set size.
+func (e *Executor) NumVertices() int { return e.fleet.NumVertices() }
+
+// Ingest routes a batch through the fleet's per-shard gates.
+func (e *Executor) Ingest(workers int, batch []edge.Update) { e.fleet.Ingest(workers, batch) }
+
+// Metrics returns the fleet-aggregated refresh metrics.
+func (e *Executor) Metrics() snapmgr.Metrics { return e.fleet.Metrics() }
+
+// Counters returns a point-in-time view of executor activity.
+func (e *Executor) Counters() qserve.Counters { return e.adm.Counters() }
+
+// checkout admits the query, then pins one snapshot per shard and
+// hands out a scratch set. Like the single-shard pool, scratch sets
+// are only created while holding a slot, so at most MaxConcurrent
+// exist.
+func (e *Executor) checkout() (*scratchSet, error) {
+	if err := e.adm.Acquire(); err != nil {
+		return nil, err
+	}
+	var s *scratchSet
+	select {
+	case s = <-e.free:
+	default:
+		s = &scratchSet{sc: NewScratch()}
+	}
+	s.views = e.fleet.View(s.views)
+	return s, nil
+}
+
+func (e *Executor) release(s *scratchSet) {
+	e.free <- s
+	e.adm.Release()
+}
+
+// BFS runs a scatter-gather breadth-first search from src.
+func (e *Executor) BFS(src uint32) (qserve.BFSReply, error) {
+	s, err := e.checkout()
+	if err != nil {
+		return qserve.BFSReply{}, err
+	}
+	defer e.release(s)
+	if int(src) >= e.fleet.NumVertices() {
+		return qserve.BFSReply{}, qserve.ErrBadVertex
+	}
+	_, reached, levels := s.sc.BFS(s.views, src)
+	return qserve.BFSReply{Src: src, Reached: reached, Levels: levels, Epoch: e.fleet.Epoch()}, nil
+}
+
+// SSSP runs sharded delta-stepping from src with arc time labels as
+// weights, like the single-shard engine (delta <= 0 derives the
+// global heuristic width).
+func (e *Executor) SSSP(src uint32, delta int64) (qserve.SSSPReply, error) {
+	s, err := e.checkout()
+	if err != nil {
+		return qserve.SSSPReply{}, err
+	}
+	defer e.release(s)
+	if int(src) >= e.fleet.NumVertices() {
+		return qserve.SSSPReply{}, qserve.ErrBadVertex
+	}
+	dist := s.sc.SSSP(s.views, src, sssp.LabelWeights, delta)
+	reply := qserve.SSSPReply{Src: src, Epoch: e.fleet.Epoch()}
+	for _, d := range dist {
+		if d != sssp.Inf {
+			reply.Reached++
+			if d > reply.MaxDist {
+				reply.MaxDist = d
+			}
+		}
+	}
+	return reply, nil
+}
+
+// Connected answers st-connectivity with an early-exiting
+// scatter-gather traversal from u.
+func (e *Executor) Connected(u, v uint32) (qserve.ConnReply, error) {
+	s, err := e.checkout()
+	if err != nil {
+		return qserve.ConnReply{}, err
+	}
+	defer e.release(s)
+	if int(u) >= e.fleet.NumVertices() || int(v) >= e.fleet.NumVertices() {
+		return qserve.ConnReply{}, qserve.ErrBadVertex
+	}
+	reply := qserve.ConnReply{U: u, V: v, Epoch: e.fleet.Epoch()}
+	if u == v {
+		reply.Connected, reply.Hops = true, 0
+		return reply, nil
+	}
+	hops, ok := s.sc.STConnected(s.views, u, v)
+	if ok {
+		reply.Connected, reply.Hops = true, hops
+	} else {
+		reply.Hops = -1
+	}
+	return reply, nil
+}
+
+// Components labels weakly-connected components by cross-shard label
+// merge; the label array and census are pool-owned.
+func (e *Executor) Components() (qserve.ComponentsReply, error) {
+	s, err := e.checkout()
+	if err != nil {
+		return qserve.ComponentsReply{}, err
+	}
+	defer e.release(s)
+	comp := s.sc.Components(s.views)
+	s.sizes = cc.CensusInto(1, comp, s.sizes)
+	_, size := cc.LargestOf(1, s.sizes)
+	return qserve.ComponentsReply{
+		Components:  cc.Count(comp),
+		LargestSize: size,
+		Epoch:       e.fleet.Epoch(),
+	}, nil
+}
+
+// Stats fans out over the shards, bypassing admission like the
+// single-shard engine so the service stays observable under overload.
+func (e *Executor) Stats() qserve.StatsReply {
+	epoch := e.fleet.Epoch()
+	views := e.fleet.View(nil)
+	var sc Scratch
+	st := sc.Stats(views)
+	return qserve.StatsReply{
+		Vertices:  st.Vertices,
+		Arcs:      st.Arcs,
+		MaxDegree: st.MaxDegree,
+		Epoch:     epoch,
+		Staleness: e.fleet.Staleness(),
+	}
+}

@@ -70,12 +70,22 @@ func NewScratch() *Scratch { return &Scratch{} }
 func (sc *Scratch) Invalidate() { sc.prepOK = false }
 
 // prepare returns the weighted view for (g, wf, delta), rebuilding the
-// cached one only when the graph, weight function, or requested delta
-// changed. The weight function is identified by its code pointer —
-// allocation-free, so the warm path stays at zero objects.
+// cached one only when the graph or weight function changed. A
+// delta-only change re-splits the cached view in place (Retarget —
+// binary search per vertex over the weight-sorted spans) instead of
+// re-materializing and re-sorting every arc, so alternating deltas
+// over one snapshot no longer thrash the cache. The weight function is
+// identified by its code pointer — allocation-free, so the warm path
+// stays at zero objects.
 func (sc *Scratch) prepare(workers int, g *csr.Graph, wf WeightFunc, delta int64) *wcsr.Graph {
 	wfp := reflect.ValueOf(wf).Pointer()
-	if !sc.prepOK || sc.prepFor != g || sc.prepDelta != delta || sc.prepWF != wfp {
+	switch {
+	case sc.prepOK && sc.prepFor == g && sc.prepWF == wfp && sc.prepDelta == delta:
+		// Warm hit.
+	case sc.prepOK && sc.prepFor == g && sc.prepWF == wfp:
+		sc.prep.Retarget(workers, delta)
+		sc.prepDelta = delta
+	default:
 		// Disarm the cache before Rebuild: a weight-validation panic
 		// mid-rebuild leaves the view half-overwritten, and a caller
 		// that recovers must not be handed it under the stale key.

@@ -26,9 +26,11 @@ type WeightFunc func(ts uint32) int64
 
 // Graph is a weight-materialized, light/heavy-partitioned CSR view.
 // Vertex u's arcs occupy [Offsets[u], Offsets[u+1]) of Adj and W as in
-// csr.Graph, reordered so that arcs with W <= Delta form the prefix
-// [Offsets[u], LightEnd[u]) and heavy arcs the suffix
-// [LightEnd[u], Offsets[u+1]). Order within each class is unspecified.
+// csr.Graph, reordered so the span is sorted by weight ascending. The
+// light/heavy split then falls out for free: arcs with W <= Delta form
+// the prefix [Offsets[u], LightEnd[u]) and heavy arcs the suffix
+// [LightEnd[u], Offsets[u+1]), and changing Delta is a binary-search
+// re-split per vertex (Retarget), not a rebuild.
 type Graph struct {
 	N        int
 	Offsets  []int64  // length N+1, shared with the source CSR (immutable)
@@ -108,28 +110,131 @@ func (wg *Graph) Rebuild(workers int, g *csr.Graph, wf WeightFunc, delta int64) 
 	}
 	wg.MaxW = maxW.Load()
 
+	// The heuristic samples the arc-order weights, so it must run
+	// before pass 2 reorders them — keeping delta values identical to
+	// the historical two-pointer build.
 	if delta <= 0 {
 		delta = HeuristicDelta(wg.W)
 	}
-	wg.Delta = delta
 
-	// Pass 2: in-place two-pointer partition of each vertex's (Adj, W)
-	// span into light prefix / heavy suffix.
+	// Pass 2: sort each vertex's (Adj, W) span by weight ascending, then
+	// place the light/heavy split by binary search. The sort costs
+	// O(d log d) per vertex instead of the old O(d) two-pointer pass,
+	// but it is paid once per snapshot; every later delta change is a
+	// Retarget (binary search only).
 	par.ForDynamic(workers, g.N, 256, func(vlo, vhi int) {
 		for u := vlo; u < vhi; u++ {
-			lo, hi := wg.Offsets[u], wg.Offsets[u+1]-1
-			for lo <= hi {
-				if int64(wg.W[lo]) <= delta {
-					lo++
-					continue
-				}
-				wg.Adj[lo], wg.Adj[hi] = wg.Adj[hi], wg.Adj[lo]
-				wg.W[lo], wg.W[hi] = wg.W[hi], wg.W[lo]
-				hi--
-			}
-			wg.LightEnd[u] = lo
+			sortSpan(wg.Adj, wg.W, wg.Offsets[u], wg.Offsets[u+1])
 		}
 	})
+	wg.retarget(workers, delta)
+}
+
+// Retarget moves the light/heavy split of every adjacency to a new
+// delta without touching weights or arc order: each span is already
+// weight-sorted, so the new LightEnd is one binary search per vertex.
+// delta <= 0 re-derives HeuristicDelta over the (now sorted) weights.
+// O(n log maxDegree); the scratch-reuse path for SSSP runs that change
+// delta over one snapshot.
+func (wg *Graph) Retarget(workers int, delta int64) {
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	if delta <= 0 {
+		delta = HeuristicDelta(wg.W)
+	}
+	wg.retarget(workers, delta)
+}
+
+func (wg *Graph) retarget(workers int, delta int64) {
+	wg.Delta = delta
+	par.ForDynamic(workers, wg.N, 1024, func(vlo, vhi int) {
+		for u := vlo; u < vhi; u++ {
+			wg.LightEnd[u] = searchHeavy(wg.W, wg.Offsets[u], wg.Offsets[u+1], delta)
+		}
+	})
+}
+
+// searchHeavy returns the position of the first arc in the sorted span
+// [lo, hi) with weight > delta.
+func searchHeavy(w []uint32, lo, hi, delta int64) int64 {
+	for lo < hi {
+		mid := int64(uint64(lo+hi) >> 1)
+		if int64(w[mid]) <= delta {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sortSpanCutoff is the span length below which insertion sort beats
+// the quicksort machinery.
+const sortSpanCutoff = 24
+
+// sortSpan sorts the parallel (adj, w) pair slice [lo, hi) by weight
+// ascending, breaking ties by adjacency id so the layout is a pure
+// function of the arc multiset — deterministic across rebuilds
+// regardless of source arc order. Hand-rolled on the two parallel
+// arrays: sort.Sort would cost an interface allocation per span.
+func sortSpan(adj, w []uint32, lo, hi int64) {
+	for hi-lo > sortSpanCutoff {
+		// Median-of-three pivot, middle element as representative.
+		mid := lo + (hi-lo)/2
+		if pairLess(w, adj, mid, lo) {
+			swapArc(adj, w, mid, lo)
+		}
+		if pairLess(w, adj, hi-1, lo) {
+			swapArc(adj, w, hi-1, lo)
+		}
+		if pairLess(w, adj, hi-1, mid) {
+			swapArc(adj, w, hi-1, mid)
+		}
+		pw, pa := w[mid], adj[mid]
+		i, j := lo, hi-1
+		for {
+			for w[i] < pw || (w[i] == pw && adj[i] < pa) {
+				i++
+			}
+			for pw < w[j] || (pw == w[j] && pa < adj[j]) {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			swapArc(adj, w, i, j)
+			i++
+			j--
+		}
+		// Recurse into the smaller side, loop on the larger: O(log d)
+		// stack depth worst case.
+		if j-lo < hi-j-1 {
+			sortSpan(adj, w, lo, j+1)
+			lo = j + 1
+		} else {
+			sortSpan(adj, w, j+1, hi)
+			hi = j + 1
+		}
+	}
+	for i := lo + 1; i < hi; i++ {
+		cw, ca := w[i], adj[i]
+		j := i - 1
+		for j >= lo && (w[j] > cw || (w[j] == cw && adj[j] > ca)) {
+			adj[j+1], w[j+1] = adj[j], w[j]
+			j--
+		}
+		adj[j+1], w[j+1] = ca, cw
+	}
+}
+
+func pairLess(w, adj []uint32, i, j int64) bool {
+	return w[i] < w[j] || (w[i] == w[j] && adj[i] < adj[j])
+}
+
+func swapArc(adj, w []uint32, i, j int64) {
+	adj[i], adj[j] = adj[j], adj[i]
+	w[i], w[j] = w[j], w[i]
 }
 
 // Degree returns the out-degree of u.

@@ -166,3 +166,97 @@ func TestBuildValidatesWeightsParallel(t *testing.T) {
 	}()
 	Build(4, g, func(uint32) int64 { return -1 }, 0)
 }
+
+// checkSorted verifies the weight-sorted span invariant Retarget relies
+// on: within every vertex's span, arcs ascend by (weight, neighbor id).
+func checkSorted(t *testing.T, wg *Graph) {
+	t.Helper()
+	for u := 0; u < wg.N; u++ {
+		lo, hi := wg.Offsets[u], wg.Offsets[u+1]
+		for p := lo + 1; p < hi; p++ {
+			if wg.W[p] < wg.W[p-1] ||
+				(wg.W[p] == wg.W[p-1] && wg.Adj[p] < wg.Adj[p-1]) {
+				t.Fatalf("vertex %d: span not sorted at %d: (%d,%d) after (%d,%d)",
+					u, p, wg.W[p], wg.Adj[p], wg.W[p-1], wg.Adj[p-1])
+			}
+		}
+	}
+}
+
+func TestSortedSpans(t *testing.T) {
+	wf := func(ts uint32) int64 { return int64(ts) }
+	for _, workers := range []int{1, 4} {
+		g := rmatGraph(t, 9, 8, 100, 21)
+		wg := Build(workers, g, wf, 17)
+		checkSorted(t, wg)
+		checkView(t, g, wg, wf)
+	}
+	// Degenerate spans: length 0, 1, and all-equal weights stay sorted
+	// (ties break by neighbor id).
+	g := csr.FromEdges(1, 4, []edge.Edge{
+		{U: 0, V: 3, T: 7}, {U: 0, V: 1, T: 7}, {U: 0, V: 2, T: 7}, {U: 2, V: 0, T: 1},
+	}, false)
+	wg := Build(1, g, wf, 7)
+	checkSorted(t, wg)
+	if wg.Adj[0] != 1 || wg.Adj[1] != 2 || wg.Adj[2] != 3 {
+		t.Fatalf("equal-weight ties not ordered by id: %v", wg.Adj[:3])
+	}
+}
+
+func TestSortedSpansDeterministic(t *testing.T) {
+	// The sorted layout is identical across worker counts: parallel
+	// builds must not produce a different (valid) permutation.
+	wf := func(ts uint32) int64 { return int64(ts) }
+	g := rmatGraph(t, 9, 8, 100, 22)
+	a := Build(1, g, wf, 13)
+	b := Build(4, g, wf, 13)
+	for p := range a.Adj {
+		if a.Adj[p] != b.Adj[p] || a.W[p] != b.W[p] {
+			t.Fatalf("layout diverges at arc %d: (%d,%d) vs (%d,%d)",
+				p, a.Adj[p], a.W[p], b.Adj[p], b.W[p])
+		}
+	}
+}
+
+func TestRetargetMatchesRebuild(t *testing.T) {
+	wf := func(ts uint32) int64 { return int64(ts) }
+	g := rmatGraph(t, 9, 8, 100, 23)
+	wg := Build(1, g, wf, 5)
+	for _, delta := range []int64{1, 17, 50, 99, 1000} {
+		for _, workers := range []int{1, 4} {
+			wg.Retarget(workers, delta)
+			if wg.Delta != delta {
+				t.Fatalf("Delta = %d, want %d", wg.Delta, delta)
+			}
+			fresh := Build(1, g, wf, delta)
+			for u := 0; u < g.N; u++ {
+				if wg.LightEnd[u] != fresh.LightEnd[u] {
+					t.Fatalf("delta %d: LightEnd[%d] = %d, want %d",
+						delta, u, wg.LightEnd[u], fresh.LightEnd[u])
+				}
+			}
+			checkView(t, g, wg, wf)
+		}
+	}
+	// Retarget does not touch the arc arrays, only the split points.
+	before := append([]uint32(nil), wg.Adj...)
+	wg.Retarget(1, 3)
+	for p := range before {
+		if wg.Adj[p] != before[p] {
+			t.Fatal("Retarget permuted arcs")
+		}
+	}
+}
+
+func TestRetargetHeuristic(t *testing.T) {
+	// delta <= 0 re-derives the heuristic width from the (sorted)
+	// weights; the result must be a valid positive split.
+	wf := func(ts uint32) int64 { return int64(ts) }
+	g := rmatGraph(t, 8, 6, 100, 24)
+	wg := Build(1, g, wf, 40)
+	wg.Retarget(1, 0)
+	if wg.Delta < 1 {
+		t.Fatalf("heuristic Delta = %d, want >= 1", wg.Delta)
+	}
+	checkView(t, g, wg, wf)
+}
