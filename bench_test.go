@@ -147,6 +147,16 @@ func BenchmarkFig11TemporalBC(b *testing.B) {
 	}
 }
 
+func BenchmarkFigMemory(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		t := ibench.FigMemory(cfg, nil)
+		if i == b.N-1 {
+			reportBest(b, t)
+		}
+	}
+}
+
 // --- Traversal engines ---------------------------------------------------
 
 // benchmarkBFSEngine measures steady-state BFS over an RMAT scale-16

@@ -34,12 +34,17 @@
 // vertex-partitioned fleet (-shards counts): bulk-load ingest MUPS
 // through P concurrent shard gates, scatter-gather BFS rate over the
 // per-shard pinned snapshots, and sustained mixed QPS through the
-// fleet executor, each against the single-store baseline. -json
-// additionally writes every measured table to a file for the
-// committed BENCH_*.json artifacts.
+// fleet executor, each against the single-store baseline. The figure
+// "memory" sweeps the memory-scale snapshot formats (plain, degree-,
+// BFS- and RCM-reordered CSR, gap-compressed adjacency): bytes per
+// stored arc against BFS and SSSP traversal rate on each format, over
+// the -scales list (default just -scale). -json additionally writes
+// every measured table to a file for the committed BENCH_*.json
+// artifacts.
 //
 //	snapbench -fig service -scale 16 -qworkers 8 -qduration 2s
 //	snapbench -fig shard -scale 16 -shards 1,2,4,8 -json BENCH_shard.json
+//	snapbench -fig memory -scales 16,18 -json BENCH_memory.json
 package main
 
 import (
@@ -138,6 +143,17 @@ func main() {
 		"pipeline": func() *timing.Table {
 			return bench.FigPipeline(cfg, *qworkers)
 		},
+		"memory": func() *timing.Table {
+			var memScales []int
+			if *scales != "" {
+				ss, err := parseInts(*scales)
+				if err != nil {
+					fatalf("bad -scales: %v", err)
+				}
+				memScales = ss
+			}
+			return bench.FigMemory(cfg, memScales)
+		},
 		"service": func() *timing.Table {
 			return bench.FigService(cfg, *qworkers, *qduration)
 		},
@@ -157,7 +173,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, shard, or all)", f)
+				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, shard, memory, or all)", f)
 			}
 			order = append(order, f)
 		}

@@ -97,6 +97,28 @@
 //     (weight, neighbor) at Rebuild) makes a delta change a
 //     binary-search re-split (Retarget, O(n log maxdeg)) instead of a
 //     rebuild, fixing mixed-delta scratch thrash in qserve.
+//   - Memory-scale snapshot formats as first-class pipeline citizens
+//     (Graph.ManagerWithLayout): the manager can publish plain CSR,
+//     degree-/BFS-/RCM-reordered CSR (internal/reorder), or
+//     gap-compressed adjacency (internal/compress, zigzag/varint delta
+//     blocks the traversal engine streams through a zero-allocation
+//     cursor — traversal.RunStream, 0 allocs/op serial steady state).
+//     The layout contract: queries accept and report original vertex
+//     ids on every layout and return results identical to the plain
+//     layout — reordered snapshots carry their permutation and inverse
+//     and translate at the query boundary, compressed ones stream
+//     their blocks through the same engine. Reordered layouts splice
+//     incremental refresh deltas through the held permutation; once
+//     cumulative churn since the permutation was computed passes ~30%
+//     of the vertex set (or the vertex set grows), the ordering is
+//     recomputed with a full permuted rebuild. Compressed layouts
+//     byte-splice dirty vertices' blocks, byte-identical to a from-
+//     scratch build. Kernels with no layout-native path materialize a
+//     plain original-id CSR lazily, once per snapshot. The footprint
+//     per format is observable (RefreshMetrics.SnapshotBytes/Format,
+//     and the /stats endpoint's sizeBytes/format fields) and
+//     measured by snapbench -fig memory (committed BENCH_memory.json:
+//     compressed ~2.7x fewer bytes per arc than plain at scale 18).
 //   - The R-MAT generator and update-stream tooling used by the paper's
 //     evaluation, one benchmark driver per paper figure, a unified
 //     kernel sweep (cmd/snapbench -fig kernel

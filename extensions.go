@@ -28,7 +28,10 @@ type CompressedSnapshot struct {
 
 // Compress encodes the snapshot into compressed form in parallel.
 func (s *Snapshot) Compress(workers int) *CompressedSnapshot {
-	return &CompressedSnapshot{g: compress.FromCSR(workers, s.g)}
+	if s.cg != nil {
+		return &CompressedSnapshot{g: s.cg}
+	}
+	return &CompressedSnapshot{g: compress.FromCSR(workers, s.csrView())}
 }
 
 // NumVertices returns the vertex-set size.
@@ -43,8 +46,8 @@ func (c *CompressedSnapshot) SizeBytes() int64 { return c.g.SizeBytes() }
 // CompressionRatio compares against the 8-byte-per-arc CSR encoding.
 func (c *CompressedSnapshot) CompressionRatio() float64 { return c.g.CompressionRatio() }
 
-// OutDegree returns u's arc count.
-func (c *CompressedSnapshot) OutDegree(u VertexID) int { return c.g.Degree(u) }
+// OutDegree returns u's arc count (one varint read, no decode scan).
+func (c *CompressedSnapshot) OutDegree(u VertexID) int64 { return c.g.Degree(u) }
 
 // Neighbors decodes u's arcs in increasing neighbor order.
 func (c *CompressedSnapshot) Neighbors(u VertexID, fn func(v VertexID, t uint32) bool) {
@@ -57,10 +60,12 @@ func (c *CompressedSnapshot) Decompress(workers int) *Snapshot {
 	return &Snapshot{g: c.g.ToCSR(workers)}
 }
 
-// BFS traverses the compressed graph directly (sequential decode per
-// adjacency list).
+// BFS traverses the compressed graph directly, streaming each adjacency
+// block through the full traversal engine (zero-alloc cursor decode, no
+// CSR materialization); see traversal.RunStream.
 func (c *CompressedSnapshot) BFS(workers int, src VertexID) (level []int32, reached int) {
-	return c.g.BFS(workers, src)
+	res := traversal.RunStream(c.g, []uint32{src}, traversal.Options{Workers: workers}, nil, nil)
+	return res.Level, res.Reached
 }
 
 // --- Vertex reordering ----------------------------------------------------
@@ -69,17 +74,24 @@ func (c *CompressedSnapshot) BFS(workers int, src VertexID) (level []int32, reac
 type Permutation = reorder.Permutation
 
 // ReorderByDegree returns the hubs-first relabeling permutation.
-func (s *Snapshot) ReorderByDegree() Permutation { return reorder.ByDegree(s.g) }
+func (s *Snapshot) ReorderByDegree() Permutation { return reorder.ByDegree(s.csrView()) }
 
 // ReorderByBFS returns the BFS visit-order relabeling permutation from
 // the given roots.
 func (s *Snapshot) ReorderByBFS(workers int, roots []VertexID) Permutation {
-	return reorder.ByBFS(workers, s.g, roots)
+	return reorder.ByBFS(workers, s.csrView(), roots)
 }
 
-// Relabel applies a permutation, returning the relabeled snapshot.
+// ReorderByRCM returns the reverse Cuthill-McKee relabeling permutation,
+// the bandwidth-minimizing ordering the pipeline's SnapshotRCM layout
+// maintains automatically.
+func (s *Snapshot) ReorderByRCM() Permutation { return reorder.ByRCM(s.csrView()) }
+
+// Relabel applies a permutation, returning the relabeled snapshot. The
+// result is a raw relabeling: its ids ARE the new ids (unlike the
+// managed reordered layouts, which translate at the query boundary).
 func (s *Snapshot) Relabel(workers int, perm Permutation) *Snapshot {
-	return &Snapshot{g: reorder.Apply(workers, s.g, perm)}
+	return &Snapshot{g: reorder.Apply(workers, s.csrView(), perm)}
 }
 
 // --- Incremental connectivity (dynamic forest) ----------------------------
@@ -124,13 +136,13 @@ type ClosenessScores = centrality.ClosenessScores
 // snapshots traverse with the direction-optimizing engine; directed
 // ones fall back to top-down.
 func (s *Snapshot) Closeness(workers int, sources []VertexID) []ClosenessScores {
-	return centrality.Closeness(workers, s.g, sources, s.kernelStrategy(BFSDirectionOpt))
+	return centrality.Closeness(workers, s.csrView(), sources, s.kernelStrategy(BFSDirectionOpt))
 }
 
 // Stress computes stress centrality (absolute shortest-path counts
 // through each vertex); options as in Betweenness.
 func (s *Snapshot) Stress(workers int, opt BCOptions) []float64 {
-	return centrality.Stress(workers, s.g, centrality.Options{
+	return centrality.Stress(workers, s.csrView(), centrality.Options{
 		Temporal:  opt.Temporal,
 		Sources:   opt.Sources,
 		Normalize: opt.Sources != nil,
@@ -173,12 +185,35 @@ type SSSPOptions struct {
 // free arc), using parallel delta-stepping over a light/heavy
 // pre-partitioned weighted view. The result matches Dijkstra exactly;
 // unreachable vertices hold InfDistance.
+//
+// Storage layouts are invisible here like everywhere else: compressed
+// snapshots run the streaming Bellman-Ford kernel (Delta and Scratch
+// are ignored — there is no bucketed view to cache), reordered ones
+// delta-step in layout space and translate the distances back, and the
+// returned slice is always indexed by original vertex id.
 func (s *Snapshot) SSSPWith(src VertexID, opt SSSPOptions) []int64 {
-	return sssp.Run(s.g, src, sssp.Options{
+	if s.cg != nil {
+		return sssp.RunStream(s.cg, src, opt.Workers, sssp.LabelWeights, nil)
+	}
+	dist := sssp.Run(s.g, s.toLayout(src), sssp.Options{
 		Workers: opt.Workers,
 		Delta:   opt.Delta,
 		Scratch: opt.Scratch,
 	})
+	return s.translateDistances(dist)
+}
+
+// translateDistances maps a layout-space distance array back to
+// original ids (the identity for plain and compressed layouts).
+func (s *Snapshot) translateDistances(dist []int64) []int64 {
+	if s.perm == nil {
+		return dist
+	}
+	out := make([]int64, len(dist))
+	for v := range out {
+		out[v] = dist[s.perm[v]]
+	}
+	return out
 }
 
 // ShortestPaths computes single-source shortest path distances treating
@@ -196,17 +231,21 @@ func (s *Snapshot) ShortestPaths(workers int, src VertexID, delta int64) []int64
 // ShortestPathsDijkstra computes the same distances with the sequential
 // typed-heap Dijkstra baseline, for validation and benchmarking.
 func (s *Snapshot) ShortestPathsDijkstra(src VertexID) []int64 {
-	return sssp.Dijkstra(s.g, src, sssp.LabelWeights)
+	return sssp.Dijkstra(s.csrView(), src, sssp.LabelWeights)
 }
 
 // HopDistances computes unweighted (hop count) distances via the same
 // machinery, for validation against BFS levels.
 func (s *Snapshot) HopDistances(workers int, src VertexID) []int64 {
-	return sssp.Run(s.g, src, sssp.Options{
+	if s.cg != nil {
+		return sssp.RunStream(s.cg, src, workers, sssp.UnitWeights, nil)
+	}
+	dist := sssp.Run(s.g, s.toLayout(src), sssp.Options{
 		Workers: workers,
 		Delta:   1,
 		Weights: sssp.UnitWeights,
 	})
+	return s.translateDistances(dist)
 }
 
 // --- Small-world diagnostics -------------------------------------------------
@@ -218,7 +257,7 @@ type ClusteringCoefficients = cluster.Coefficients
 // Clustering computes per-vertex triangle counts and clustering
 // coefficients over a symmetric snapshot.
 func (s *Snapshot) Clustering(workers int) *ClusteringCoefficients {
-	return cluster.Compute(workers, s.g)
+	return cluster.Compute(workers, s.csrView())
 }
 
 // EstimateDiameter lower-bounds the diameter of the largest component by
@@ -233,12 +272,12 @@ func (s *Snapshot) EstimateDiameter(workers, samples int, seed uint64) int32 {
 	srcs := s.SampleSources(samples, seed)
 	var best int32
 	for _, src := range srcs {
-		res := traversal.BFS(workers, s.g, src)
+		res := traversal.BFS(workers, s.csrView(), src)
 		far, fd := farthest(res)
 		if fd > best {
 			best = fd
 		}
-		res = traversal.BFS(workers, s.g, far)
+		res = traversal.BFS(workers, s.csrView(), far)
 		if _, fd = farthest(res); fd > best {
 			best = fd
 		}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"snapdyn/internal/csr"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/snapmgr"
+	"snapdyn/internal/sssp"
+	"snapdyn/internal/stream"
+	"snapdyn/internal/timing"
+	"snapdyn/internal/traversal"
+)
+
+// memoryLayouts is the format sweep FigMemory measures, plain first so
+// every other row reads as a delta against the seed format.
+var memoryLayouts = []snapmgr.Layout{
+	snapmgr.LayoutPlain, snapmgr.LayoutDegree, snapmgr.LayoutBFS,
+	snapmgr.LayoutRCM, snapmgr.LayoutCompressed,
+}
+
+// FigMemory measures the memory-scale snapshot formats: for every
+// storage layout the pipeline can publish (plain, degree-, BFS- and
+// RCM-reordered CSR, gap-compressed adjacency) it reports the snapshot
+// footprint in bytes per arc alongside the traversal rate (MUPS column =
+// MTEPS, arcs inspected per second) of BFS and of the SSSP hook kernel
+// on that format, at each scale in scales. The bytes-per-arc rides in
+// each row's Param so the JSON artifact carries footprint and rate
+// together. Empty scales measures just cfg.Scale.
+func FigMemory(cfg Config, scales []int) *timing.Table {
+	if len(scales) == 0 {
+		scales = []int{cfg.Scale}
+	}
+	ws := cfg.workers()
+	w := ws[len(ws)-1]
+	t := &timing.Table{
+		Title: "Memory-scale snapshot formats: footprint vs traversal rate",
+		Note: fmt.Sprintf(
+			"R-MAT m=%dn (undirected), seed=%d, %d workers; B/arc = snapshot bytes per stored arc, MUPS column = MTEPS",
+			cfg.EdgeFactor, cfg.Seed, w),
+	}
+	for _, scale := range scales {
+		sc := cfg
+		sc.Scale = scale
+		measureMemoryScale(t, sc, w)
+	}
+	return t
+}
+
+// measureMemoryScale runs the layout sweep at one scale: one shared
+// store, one manager per layout (each publishing its own format of the
+// same graph), BFS and SSSP from a giant-component source.
+func measureMemoryScale(t *timing.Table, cfg Config, w int) {
+	n := cfg.n()
+	edges := cfg.generate()
+	store := dyngraph.NewTracked(dyngraph.NewHybrid(n, 4*len(edges), 0, cfg.Seed))
+	store.ApplyBatch(w, stream.Mirror(stream.Inserts(edges)))
+	src := largestComponentVertex(csr.FromStore(w, store))
+
+	scratch := traversal.NewScratch()
+	res := &traversal.Result{}
+	for _, layout := range memoryLayouts {
+		v := snapmgr.NewLayout(w, store, layout).View()
+		bpa := float64(v.SizeBytes()) / float64(v.NumEdges())
+		param := fmt.Sprintf("n=2^%d B/arc=%.2f", cfg.Scale, bpa)
+		lsrc := src
+		if v.Perm != nil {
+			lsrc = v.Perm[src]
+		}
+		opt := traversal.Options{Workers: w}
+		var bfsSecs, ssspSecs float64
+		if v.C != nil {
+			bfsSecs = timing.Time(func() { traversal.RunStream(v.C, []uint32{lsrc}, opt, scratch, res) })
+			ssspSecs = timing.Time(func() { sssp.RunStream(v.C, lsrc, w, sssp.LabelWeights, nil) })
+		} else {
+			bfsSecs = timing.Time(func() { traversal.Run(v.G, []uint32{lsrc}, opt, scratch, res) })
+			ssspSecs = timing.Time(func() { sssp.Run(v.G, lsrc, sssp.Options{Workers: w}) })
+		}
+		t.Add(timing.Measurement{
+			Label: "bfs(" + layout.String() + ")", Param: param,
+			Workers: w, Ops: v.NumEdges(), Seconds: bfsSecs,
+		})
+		t.Add(timing.Measurement{
+			Label: "sssp(" + layout.String() + ")", Param: param,
+			Workers: w, Ops: v.NumEdges(), Seconds: ssspSecs,
+		})
+	}
+}

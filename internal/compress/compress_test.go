@@ -1,14 +1,18 @@
-package compress
+// External test package: internal/traversal imports compress for the
+// streaming-decode engine path, so tests that exercise traversal (here
+// and in equiv_test.go) must live outside package compress to avoid an
+// import cycle.
+package compress_test
 
 import (
 	"sort"
 	"testing"
 	"testing/quick"
 
+	"snapdyn/internal/compress"
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/rmat"
-	"snapdyn/internal/traversal"
 	"snapdyn/internal/xrand"
 )
 
@@ -24,7 +28,7 @@ func sampleCSR(t testing.TB, scale int, seed uint64) *csr.Graph {
 
 func TestRoundTrip(t *testing.T) {
 	g := sampleCSR(t, 10, 3)
-	cg := FromCSR(4, g)
+	cg := compress.FromCSR(4, g)
 	if cg.NumEdges() != g.NumEdges() {
 		t.Fatalf("arc count %d != %d", cg.NumEdges(), g.NumEdges())
 	}
@@ -66,10 +70,10 @@ func TestRoundTrip(t *testing.T) {
 
 func TestNeighborsSortedAndComplete(t *testing.T) {
 	g := sampleCSR(t, 9, 7)
-	cg := FromCSR(2, g)
+	cg := compress.FromCSR(2, g)
 	for u := 0; u < g.N; u++ {
 		var prev int64 = -1
-		count := 0
+		count := int64(0)
 		cg.Neighbors(edge.ID(u), func(v edge.ID, _ uint32) bool {
 			if int64(v) < prev {
 				t.Fatalf("vertex %d: neighbors out of order", u)
@@ -78,7 +82,7 @@ func TestNeighborsSortedAndComplete(t *testing.T) {
 			count++
 			return true
 		})
-		if count != int(g.Degree(edge.ID(u))) {
+		if count != g.Degree(edge.ID(u)) {
 			t.Fatalf("vertex %d: decoded %d arcs, want %d", u, count, g.Degree(edge.ID(u)))
 		}
 		if cg.Degree(edge.ID(u)) != count {
@@ -87,9 +91,42 @@ func TestNeighborsSortedAndComplete(t *testing.T) {
 	}
 }
 
+func TestCursorMatchesNeighbors(t *testing.T) {
+	g := sampleCSR(t, 9, 19)
+	cg := compress.FromCSR(2, g)
+	var c compress.Cursor
+	for u := 0; u < g.N; u++ {
+		cg.Begin(&c, edge.ID(u))
+		cg.Neighbors(edge.ID(u), func(v edge.ID, ts uint32) bool {
+			cv, ct, ok := c.Next()
+			if !ok || cv != v || ct != ts {
+				t.Fatalf("vertex %d: cursor (%d,%d,%v) != callback (%d,%d)", u, cv, ct, ok, v, ts)
+			}
+			return true
+		})
+		if _, _, ok := c.Next(); ok {
+			t.Fatalf("vertex %d: cursor overran the arc list", u)
+		}
+	}
+}
+
+func TestCachedShape(t *testing.T) {
+	g := sampleCSR(t, 10, 23)
+	cg := compress.FromCSR(2, g)
+	if cg.NumEdges() != g.NumEdges() {
+		t.Fatalf("cached NumEdges %d != %d", cg.NumEdges(), g.NumEdges())
+	}
+	if cg.MaxDegree() != g.MaxDegree() {
+		t.Fatalf("cached MaxDegree %d != %d", cg.MaxDegree(), g.MaxDegree())
+	}
+	if cg.FootprintBytes() <= cg.SizeBytes() {
+		t.Fatal("footprint should include the offset array")
+	}
+}
+
 func TestCompressionSavesSpace(t *testing.T) {
 	g := sampleCSR(t, 12, 11)
-	cg := FromCSR(0, g)
+	cg := compress.FromCSR(0, g)
 	ratio := cg.CompressionRatio()
 	if ratio <= 1.0 {
 		t.Fatalf("compression ratio %.2f, want > 1 on a small-world graph", ratio)
@@ -99,7 +136,7 @@ func TestCompressionSavesSpace(t *testing.T) {
 
 func TestEarlyStop(t *testing.T) {
 	g := sampleCSR(t, 8, 13)
-	cg := FromCSR(2, g)
+	cg := compress.FromCSR(2, g)
 	// Find a vertex with degree >= 3.
 	for u := 0; u < g.N; u++ {
 		if cg.Degree(edge.ID(u)) >= 3 {
@@ -117,26 +154,9 @@ func TestEarlyStop(t *testing.T) {
 	t.Skip("no vertex with degree >= 3")
 }
 
-func TestBFSMatchesCSR(t *testing.T) {
-	g := sampleCSR(t, 10, 17)
-	cg := FromCSR(0, g)
-	for _, src := range []edge.ID{0, 5, 1000} {
-		want := traversal.BFS(0, g, src)
-		level, reached := cg.BFS(2, src)
-		if reached != want.Reached {
-			t.Fatalf("src %d: reached %d, want %d", src, reached, want.Reached)
-		}
-		for v := range level {
-			if level[v] != want.Level[v] {
-				t.Fatalf("src %d: level[%d] = %d, want %d", src, v, level[v], want.Level[v])
-			}
-		}
-	}
-}
-
 func TestEmptyAndSingleton(t *testing.T) {
 	g := csr.FromEdges(1, 3, nil, false)
-	cg := FromCSR(2, g)
+	cg := compress.FromCSR(2, g)
 	if cg.NumEdges() != 0 {
 		t.Fatal("empty graph has arcs")
 	}
@@ -144,7 +164,7 @@ func TestEmptyAndSingleton(t *testing.T) {
 		t.Fatal("empty ratio should be 1")
 	}
 	g2 := csr.FromEdges(1, 3, []edge.Edge{{U: 2, V: 0, T: 9}}, false)
-	cg2 := FromCSR(2, g2)
+	cg2 := compress.FromCSR(2, g2)
 	found := false
 	cg2.Neighbors(2, func(v edge.ID, t32 uint32) bool {
 		found = v == 0 && t32 == 9
@@ -152,14 +172,6 @@ func TestEmptyAndSingleton(t *testing.T) {
 	})
 	if !found {
 		t.Fatal("backward gap (2 -> 0) decoded wrong")
-	}
-}
-
-func TestZigzagProperty(t *testing.T) {
-	if err := quick.Check(func(d int64) bool {
-		return unzigzag(zigzag(d)) == d
-	}, nil); err != nil {
-		t.Fatal(err)
 	}
 }
 
@@ -174,7 +186,7 @@ func TestRandomGraphsRoundTripProperty(t *testing.T) {
 			})
 		}
 		g := csr.FromEdges(1, n, edges, false)
-		cg := FromCSR(1, g)
+		cg := compress.FromCSR(1, g)
 		back := cg.ToCSR(1)
 		if back.NumEdges() != g.NumEdges() {
 			return false
@@ -192,12 +204,19 @@ func TestRandomGraphsRoundTripProperty(t *testing.T) {
 
 func BenchmarkDecodeNeighbors(b *testing.B) {
 	g := sampleCSR(b, 14, 5)
-	cg := FromCSR(0, g)
+	cg := compress.FromCSR(0, g)
 	b.ResetTimer()
 	var sink int
+	var c compress.Cursor
 	for i := 0; i < b.N; i++ {
 		u := edge.ID(i & (g.N - 1))
-		cg.Neighbors(u, func(v edge.ID, _ uint32) bool { sink++; return true })
+		cg.Begin(&c, u)
+		for {
+			if _, _, ok := c.Next(); !ok {
+				break
+			}
+			sink++
+		}
 	}
 	_ = sink
 }

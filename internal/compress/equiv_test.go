@@ -1,0 +1,202 @@
+package compress_test
+
+// Randomized and adversarial equivalence suite for the compressed
+// format as a pipeline citizen: whatever the store looks like, the
+// compressed snapshot must carry exactly the same arcs as the plain CSR
+// one, the traversal engine must answer identically when streaming over
+// it, and byte-splice Refresh must track churn without drifting from a
+// from-scratch build.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"snapdyn/internal/compress"
+	"snapdyn/internal/csr"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/rmat"
+	"snapdyn/internal/stream"
+	"snapdyn/internal/traversal"
+	"snapdyn/internal/xrand"
+)
+
+// adversarialStores builds the store menagerie: each entry stresses a
+// different corner of the varint block encoding.
+func adversarialStores(t *testing.T) map[string]*dyngraph.Tracked {
+	t.Helper()
+	mk := func(n, cap int) *dyngraph.Tracked {
+		return dyngraph.NewTracked(dyngraph.NewHybrid(n, cap, 0, 1))
+	}
+
+	// R-MAT: the skewed baseline every figure uses.
+	const scale = 9
+	n := 1 << scale
+	edges, err := rmat.Generate(0, rmat.PaperParams(scale, 8*n, 50, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmatStore := mk(n, 4*len(edges))
+	rmatStore.ApplyBatch(0, stream.Mirror(stream.Inserts(edges)))
+
+	// Hubs: two vertices adjacent to everything (maximum block length,
+	// gap-1 runs), plus a sprinkle of random arcs.
+	hub := mk(512, 4096)
+	for v := uint32(1); v < 512; v++ {
+		hub.Insert(0, v, v%7)
+		hub.Insert(v, 0, v%7)
+		hub.Insert(511, v-1, 3)
+	}
+	r := xrand.New(7)
+	for i := 0; i < 256; i++ {
+		hub.Insert(r.Uint32n(512), r.Uint32n(512), r.Uint32n(50))
+	}
+
+	// Empty vertices: arcs only between multiples of 97, so nearly the
+	// whole vertex range is degree zero (zero-length blocks) and the
+	// first gaps are large.
+	sparse := mk(4096, 512)
+	for i := uint32(0); i < 4096; i += 97 {
+		for j := i + 97; j < 4096; j += 97 {
+			sparse.Insert(i, j, 1)
+			sparse.Insert(j, i, 1)
+		}
+	}
+
+	// Max labels: timestamps at the uint32 ceiling (5-byte varints) on
+	// arcs whose neighbor gaps are also near-maximal.
+	maxed := mk(1<<16, 256)
+	last := uint32(1<<16 - 1)
+	maxed.Insert(0, last, math.MaxUint32)
+	maxed.Insert(last, 0, math.MaxUint32)
+	maxed.Insert(0, 1, math.MaxUint32)
+	maxed.Insert(1, last, math.MaxUint32-1)
+	maxed.Insert(last, last, math.MaxUint32) // self-loop at the boundary
+
+	return map[string]*dyngraph.Tracked{
+		"rmat": rmatStore, "hubs": hub, "empty-vertices": sparse, "max-labels": maxed,
+	}
+}
+
+// sortedArcSet flattens a graph into per-vertex sorted (neighbor, ts)
+// pairs so plain and compressed snapshots compare as arc multisets.
+func sortedArcSet(n int, neighbors func(u edge.ID, fn func(v edge.ID, ts uint32) bool)) [][][2]uint32 {
+	out := make([][][2]uint32, n)
+	for u := 0; u < n; u++ {
+		var arcs [][2]uint32
+		neighbors(edge.ID(u), func(v edge.ID, ts uint32) bool {
+			arcs = append(arcs, [2]uint32{v, ts})
+			return true
+		})
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i][0] != arcs[j][0] {
+				return arcs[i][0] < arcs[j][0]
+			}
+			return arcs[i][1] < arcs[j][1]
+		})
+		out[u] = arcs
+	}
+	return out
+}
+
+// assertEquivalent checks arc fidelity and engine equivalence of the
+// compressed snapshot against the plain CSR of the same store.
+func assertEquivalent(t *testing.T, name string, g *csr.Graph, cg *compress.Graph) {
+	t.Helper()
+	if cg.N != g.N || cg.NumEdges() != g.NumEdges() {
+		t.Fatalf("%s: shape (%d, %d) != (%d, %d)", name, cg.N, cg.NumEdges(), g.N, g.NumEdges())
+	}
+	want := sortedArcSet(g.N, func(u edge.ID, fn func(edge.ID, uint32) bool) {
+		adj, ts := g.Neighbors(u)
+		for i := range adj {
+			if !fn(adj[i], ts[i]) {
+				return
+			}
+		}
+	})
+	got := sortedArcSet(cg.N, cg.Neighbors)
+	for u := range want {
+		if len(got[u]) != len(want[u]) {
+			t.Fatalf("%s: vertex %d has %d arcs compressed, %d plain", name, u, len(got[u]), len(want[u]))
+		}
+		for i := range want[u] {
+			if got[u][i] != want[u][i] {
+				t.Fatalf("%s: vertex %d arc %d: %v != %v", name, u, i, got[u][i], want[u][i])
+			}
+		}
+	}
+
+	// The engine must answer identically when streaming the compressed
+	// blocks: per-vertex levels and reach counts, serial and parallel.
+	for _, src := range []uint32{0, uint32(g.N / 2), uint32(g.N - 1)} {
+		for _, w := range []int{1, 4} {
+			opt := traversal.Options{Workers: w}
+			plain := traversal.Run(g, []uint32{src}, opt, nil, nil)
+			streamed := traversal.RunStream(cg, []uint32{src}, opt, nil, nil)
+			if streamed.Reached != plain.Reached {
+				t.Fatalf("%s: BFS(%d, w=%d) reached %d streamed, %d plain",
+					name, src, w, streamed.Reached, plain.Reached)
+			}
+			for v := range plain.Level {
+				if streamed.Level[v] != plain.Level[v] {
+					t.Fatalf("%s: BFS(%d, w=%d) Level[%d] = %d streamed, %d plain",
+						name, src, w, v, streamed.Level[v], plain.Level[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedEquivalentOnAdversarialStores pins the format contract
+// on the store menagerie, from scratch and across churned refreshes.
+func TestCompressedEquivalentOnAdversarialStores(t *testing.T) {
+	for name, store := range adversarialStores(t) {
+		t.Run(name, func(t *testing.T) {
+			store.Flush(nil) // build from a clean dirty set, like the manager
+			cg := compress.FromStore(0, store)
+			assertEquivalent(t, name, csr.FromStore(0, store), cg)
+
+			// Churn: mixed inserts and deletes, then a byte-splice
+			// Refresh over the flushed dirty set. The result must stay
+			// arc- and engine-equivalent to a fresh plain build.
+			r := xrand.New(99)
+			n := uint32(store.NumVertices())
+			var dirty []uint32
+			for round := 1; round <= 3; round++ {
+				for i := 0; i < 30; i++ {
+					u, v := r.Uint32n(n), r.Uint32n(n)
+					if i%4 == 3 {
+						store.Delete(u, v)
+					} else {
+						store.Insert(u, v, r.Uint32n(math.MaxUint32))
+					}
+				}
+				dirty = store.Flush(dirty[:0])
+				cg = compress.Refresh(0, cg, store, dirty)
+				assertEquivalent(t, name, csr.FromStore(0, store), cg)
+			}
+		})
+	}
+}
+
+// TestCompressedEquivalentRandomized is the property-style sweep:
+// random small stores (parallel edges, self-loops, deletes) must always
+// satisfy the same fidelity and engine contracts.
+func TestCompressedEquivalentRandomized(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		r := xrand.New(seed)
+		n := 32 + int(r.Uint32n(200))
+		store := dyngraph.NewTracked(dyngraph.NewHybrid(n, 4*n, 0, seed))
+		for i := 0; i < 12*n; i++ {
+			u, v := r.Uint32n(uint32(n)), r.Uint32n(uint32(n))
+			if i%7 == 6 {
+				store.Delete(u, v)
+			} else {
+				store.Insert(u, v, r.Uint32n(1<<30))
+			}
+		}
+		store.Flush(nil)
+		assertEquivalent(t, "randomized", csr.FromStore(0, store), compress.FromStore(0, store))
+	}
+}

@@ -1,0 +1,14 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzagProperty(t *testing.T) {
+	if err := quick.Check(func(d int64) bool {
+		return unzigzag(zigzag(d)) == d
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

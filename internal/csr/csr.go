@@ -25,6 +25,15 @@ type Graph struct {
 // NumEdges returns the number of stored arcs.
 func (g *Graph) NumEdges() int64 { return int64(len(g.Adj)) }
 
+// SizeBytes returns the snapshot's in-memory footprint: the offset,
+// adjacency, and time-label arrays (8 + 4 + 4 bytes per entry). The
+// compressed representation reports the matching number through
+// compress.Graph.FootprintBytes, so bytes-per-edge comparisons across
+// formats are apples-to-apples.
+func (g *Graph) SizeBytes() int64 {
+	return 8*int64(len(g.Offsets)) + 4*int64(len(g.Adj)) + 4*int64(len(g.TS))
+}
+
 // Degree returns the out-degree of u.
 func (g *Graph) Degree(u edge.ID) int64 { return g.Offsets[u+1] - g.Offsets[u] }
 

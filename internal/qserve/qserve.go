@@ -23,7 +23,6 @@ import (
 	"errors"
 
 	"snapdyn/internal/cc"
-	"snapdyn/internal/csr"
 	"snapdyn/internal/dyngraph"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/par"
@@ -79,12 +78,17 @@ type scratchSet struct {
 	trav *traversal.Scratch
 	res  traversal.Result
 	ssp  *sssp.Scratch
-	src  [1]uint32
+	// sspStream is the compressed-layout SSSP arena; nil until the first
+	// SSSP against a LayoutCompressed snapshot.
+	sspStream *sssp.StreamScratch
+	src       [1]uint32
 
 	// comp and sizes are the component query's label array and census,
-	// pool-owned so Components allocates nothing per request.
+	// pool-owned so Components allocates nothing per request. queue is
+	// the compressed-layout component labeler's BFS queue.
 	comp  []uint32
 	sizes []int
+	queue []uint32
 
 	connTarget uint32
 	connHook   func(int32, int) bool
@@ -181,11 +185,12 @@ func (e *Executor) Metrics() snapmgr.Metrics { return e.mgr.Metrics() }
 func (e *Executor) Counters() Counters { return e.adm.Counters() }
 
 // checkout admits the query (queue-or-shed), then hands out the current
-// snapshot, its epoch lower bound, and a scratch set. Scratch objects
-// are only ever created while holding an execution slot and the free
-// list is slot-capacity sized, so at most MaxConcurrent sets exist and
-// a release never drops one.
-func (e *Executor) checkout() (*csr.Graph, uint64, *scratchSet, error) {
+// snapshot view (in whatever storage layout the manager publishes), its
+// epoch lower bound, and a scratch set. Scratch objects are only ever
+// created while holding an execution slot and the free list is
+// slot-capacity sized, so at most MaxConcurrent sets exist and a
+// release never drops one.
+func (e *Executor) checkout() (*snapmgr.View, uint64, *scratchSet, error) {
 	if err := e.adm.Acquire(); err != nil {
 		return nil, 0, nil, err
 	}
@@ -195,12 +200,23 @@ func (e *Executor) checkout() (*csr.Graph, uint64, *scratchSet, error) {
 	default:
 		s = newScratchSet()
 	}
-	// Epoch first, then the graph: the snapshot served is at least this
-	// fresh (publication stores the graph before bumping the epoch).
+	// Epoch first, then the view: the snapshot served is at least this
+	// fresh (publication stores the view before bumping the epoch).
 	epoch := e.mgr.Epoch()
-	g := e.mgr.Current()
+	v := e.mgr.View()
 	s.revalidate(epoch)
-	return g, epoch, s, nil
+	return v, epoch, s, nil
+}
+
+// translate maps an original vertex id into the view's layout space:
+// the identity for plain and compressed views, the held permutation for
+// reordered ones. Queries accept and report original ids only; the
+// layout is invisible at the query surface.
+func translate(v *snapmgr.View, u uint32) uint32 {
+	if v.Perm != nil {
+		return v.Perm[u]
+	}
+	return u
 }
 
 // release returns the scratch before freeing the slot, so a queued
@@ -226,18 +242,27 @@ type BFSReply struct {
 	Epoch   uint64 `json:"epoch"`
 }
 
-// BFS runs a breadth-first search from src over the current snapshot.
+// BFS runs a breadth-first search from src over the current snapshot,
+// whatever its storage layout: reordered views translate src through
+// the held permutation, compressed views traverse by streaming decode
+// (traversal.RunStream). The reply's aggregates are id-invariant, so
+// every layout answers bit-identically.
 func (e *Executor) BFS(src uint32) (BFSReply, error) {
-	g, epoch, s, err := e.checkout()
+	v, epoch, s, err := e.checkout()
 	if err != nil {
 		return BFSReply{}, err
 	}
 	defer e.release(s)
-	if int(src) >= g.N {
+	if int(src) >= v.NumVertices() {
 		return BFSReply{}, ErrBadVertex
 	}
-	s.src[0] = src
-	traversal.Run(g, s.src[:1], traversal.Options{Workers: e.cfg.Workers, Strategy: e.strategy()}, s.trav, &s.res)
+	s.src[0] = translate(v, src)
+	opt := traversal.Options{Workers: e.cfg.Workers, Strategy: e.strategy()}
+	if v.C != nil {
+		traversal.RunStream(v.C, s.src[:1], opt, s.trav, &s.res)
+	} else {
+		traversal.Run(v.G, s.src[:1], opt, s.trav, &s.res)
+	}
 	return BFSReply{Src: src, Reached: s.res.Reached, Levels: s.res.Levels, Epoch: epoch}, nil
 }
 
@@ -260,16 +285,27 @@ type SSSPReply struct {
 // the scratch's cached one pays a full O(m) view rebuild inside the
 // request. Serving workloads should therefore omit delta (or agree on
 // one); per-request delta tuning is supported but priced accordingly.
+// Under LayoutCompressed the query runs the streaming Bellman-Ford
+// kernel (sssp.RunStream) instead of delta-stepping — distances are
+// identical; delta is ignored there (the stream kernel has no buckets).
 func (e *Executor) SSSP(src uint32, delta int64) (SSSPReply, error) {
-	g, epoch, s, err := e.checkout()
+	v, epoch, s, err := e.checkout()
 	if err != nil {
 		return SSSPReply{}, err
 	}
 	defer e.release(s)
-	if int(src) >= g.N {
+	if int(src) >= v.NumVertices() {
 		return SSSPReply{}, ErrBadVertex
 	}
-	dist := sssp.Run(g, src, sssp.Options{Workers: e.cfg.Workers, Delta: delta, Scratch: s.ssp})
+	var dist []int64
+	if v.C != nil {
+		if s.sspStream == nil {
+			s.sspStream = sssp.NewStreamScratch()
+		}
+		dist = sssp.RunStream(v.C, edge.ID(translate(v, src)), e.cfg.Workers, sssp.LabelWeights, s.sspStream)
+	} else {
+		dist = sssp.Run(v.G, edge.ID(translate(v, src)), sssp.Options{Workers: e.cfg.Workers, Delta: delta, Scratch: s.ssp})
+	}
 	reply := SSSPReply{Src: src, Epoch: epoch}
 	for _, d := range dist {
 		if d != sssp.Inf {
@@ -296,12 +332,12 @@ type ConnReply struct {
 // u: the engine's level-end hook stops as soon as v settles, so the
 // remaining levels' arcs are never inspected.
 func (e *Executor) Connected(u, v uint32) (ConnReply, error) {
-	g, epoch, s, err := e.checkout()
+	view, epoch, s, err := e.checkout()
 	if err != nil {
 		return ConnReply{}, err
 	}
 	defer e.release(s)
-	if int(u) >= g.N || int(v) >= g.N {
+	if int(u) >= view.NumVertices() || int(v) >= view.NumVertices() {
 		return ConnReply{}, ErrBadVertex
 	}
 	reply := ConnReply{U: u, V: v, Epoch: epoch}
@@ -309,14 +345,21 @@ func (e *Executor) Connected(u, v uint32) (ConnReply, error) {
 		reply.Connected, reply.Hops = true, 0
 		return reply, nil
 	}
-	s.src[0] = u
-	s.connTarget = v
-	traversal.Run(g, s.src[:1], traversal.Options{
+	// The whole query runs in layout space: source, early-exit target,
+	// and the settled level read back. Hop counts are id-invariant.
+	s.src[0] = translate(view, u)
+	s.connTarget = translate(view, v)
+	opt := traversal.Options{
 		Workers:  e.cfg.Workers,
 		Strategy: e.strategy(),
 		Hooks:    traversal.Hooks{OnLevelEnd: s.connHook},
-	}, s.trav, &s.res)
-	if lvl := s.res.Level[v]; lvl != traversal.NotVisited {
+	}
+	if view.C != nil {
+		traversal.RunStream(view.C, s.src[:1], opt, s.trav, &s.res)
+	} else {
+		traversal.Run(view.G, s.src[:1], opt, s.trav, &s.res)
+	}
+	if lvl := s.res.Level[s.connTarget]; lvl != traversal.NotVisited {
 		reply.Connected, reply.Hops = true, lvl
 	} else {
 		reply.Hops = -1
@@ -337,37 +380,56 @@ type ComponentsReply struct {
 // nothing per request at the serving config (Workers = 1; the parallel
 // census path still builds per-worker partial counts).
 func (e *Executor) Components() (ComponentsReply, error) {
-	g, epoch, s, err := e.checkout()
+	v, epoch, s, err := e.checkout()
 	if err != nil {
 		return ComponentsReply{}, err
 	}
 	defer e.release(s)
-	s.comp = cc.ComponentsInto(e.cfg.Workers, g, s.comp)
+	if v.C != nil {
+		s.comp, s.queue = traversal.StreamComponentsInto(v.C, s.comp, s.queue)
+	} else {
+		// Reordered views label in permuted space; component count and
+		// sizes are invariant under relabeling, so the reply is identical.
+		s.comp = cc.ComponentsInto(e.cfg.Workers, v.G, s.comp)
+	}
 	s.sizes = cc.CensusInto(e.cfg.Workers, s.comp, s.sizes)
 	_, size := cc.LargestOf(e.cfg.Workers, s.sizes)
 	return ComponentsReply{Components: cc.Count(s.comp), LargestSize: size, Epoch: epoch}, nil
 }
 
-// StatsReply summarizes the served snapshot and the serving state.
+// StatsReply summarizes the served snapshot and the serving state,
+// including the snapshot's storage layout and in-memory footprint — the
+// memory-scale observability the /stats endpoint exposes.
 type StatsReply struct {
 	Vertices  int    `json:"vertices"`
 	Arcs      int64  `json:"arcs"`
 	MaxDegree int64  `json:"maxDegree"`
 	Epoch     uint64 `json:"epoch"`
 	Staleness int    `json:"staleness"`
+	SizeBytes int64  `json:"sizeBytes"`
+	Format    string `json:"format"`
 }
 
-// Stats reports the current snapshot's shape plus the manager's epoch
-// and staleness. It bypasses admission: stats are cheap (one O(n)
-// degree scan) and must stay observable under query overload.
+// Stats reports the current snapshot's shape, layout, and footprint
+// plus the manager's epoch and staleness. It bypasses admission: stats
+// are cheap (at most one O(n) degree scan) and must stay observable
+// under query overload.
 func (e *Executor) Stats() StatsReply {
 	epoch := e.mgr.Epoch()
-	g := e.mgr.Current()
+	v := e.mgr.View()
+	maxDeg := int64(0)
+	if v.C != nil {
+		maxDeg = v.C.MaxDegree()
+	} else {
+		maxDeg = v.G.MaxDegree()
+	}
 	return StatsReply{
-		Vertices:  g.N,
-		Arcs:      g.NumEdges(),
-		MaxDegree: g.MaxDegree(),
+		Vertices:  v.NumVertices(),
+		Arcs:      v.NumEdges(),
+		MaxDegree: maxDeg,
 		Epoch:     epoch,
 		Staleness: e.mgr.Staleness(),
+		SizeBytes: v.SizeBytes(),
+		Format:    e.mgr.Layout().String(),
 	}
 }

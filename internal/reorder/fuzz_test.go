@@ -1,0 +1,81 @@
+package reorder
+
+import (
+	"testing"
+)
+
+// FuzzPermutation fuzzes the Valid/Inverse pair: Valid must agree with a
+// brute-force bijection check on arbitrary byte-derived candidates (a
+// malformed permutation accepted here would let Apply scatter arcs out
+// of range and corrupt a snapshot), and on valid inputs Inverse must be
+// an involution: Inverse(Inverse(p)) == p.
+func FuzzPermutation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{3, 2, 1, 0})
+	f.Add([]byte{0, 0})       // duplicate
+	f.Add([]byte{5, 0, 1})    // out of range
+	f.Add([]byte{1, 2, 3, 0}) // rotation
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := make(Permutation, len(data))
+		for i, b := range data {
+			p[i] = uint32(b)
+		}
+		want := bruteForceValid(p)
+		if got := p.Valid(); got != want {
+			t.Fatalf("Valid() = %v, brute force says %v for %v", got, want, p)
+		}
+		if !want {
+			return
+		}
+		inv := p.Inverse()
+		if !inv.Valid() {
+			t.Fatalf("inverse of valid permutation invalid: %v -> %v", p, inv)
+		}
+		for i := range p {
+			if inv[p[i]] != uint32(i) {
+				t.Fatalf("inv[p[%d]] = %d, want %d", i, inv[p[i]], i)
+			}
+		}
+		back := inv.Inverse()
+		if !permEqual(back, p) {
+			t.Fatalf("Inverse(Inverse(p)) != p: %v != %v", back, p)
+		}
+	})
+}
+
+func bruteForceValid(p Permutation) bool {
+	for i := range p {
+		hit := false
+		for _, v := range p {
+			if v == uint32(i) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	// Every value in range and no target missed: with len(p) slots and
+	// all len(p) targets hit, p is a bijection.
+	for _, v := range p {
+		if int(v) >= len(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func permEqual(a, b Permutation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -172,11 +172,18 @@ func (e *Executor) Stats() qserve.StatsReply {
 	views := e.fleet.View(nil)
 	var sc Scratch
 	st := sc.Stats(views)
+	// Shards publish plain CSR snapshots; the fleet footprint is their sum.
+	var bytes int64
+	for _, g := range views {
+		bytes += g.SizeBytes()
+	}
 	return qserve.StatsReply{
 		Vertices:  st.Vertices,
 		Arcs:      st.Arcs,
 		MaxDegree: st.MaxDegree,
 		Epoch:     epoch,
 		Staleness: e.fleet.Staleness(),
+		SizeBytes: bytes,
+		Format:    "plain",
 	}
 }

@@ -69,6 +69,11 @@ type Metrics struct {
 	Epoch     uint64
 	Staleness int
 	Age       time.Duration
+	// SnapshotBytes is the in-memory footprint of the published snapshot
+	// in its storage layout (View.SizeBytes), and Format that layout's
+	// name — the per-format memory accounting operators read off /stats.
+	SnapshotBytes int64
+	Format        string
 }
 
 // Ingest runs fn(store) under the ingest side of the refresh gate:
@@ -160,5 +165,9 @@ func (m *Manager) Metrics() Metrics {
 	out.Epoch = m.Epoch()
 	out.Staleness = m.Staleness()
 	out.Age = time.Since(time.Unix(0, m.lastPub.Load()))
+	if v := m.View(); v != nil {
+		out.SnapshotBytes = v.SizeBytes()
+	}
+	out.Format = m.layout.String()
 	return out
 }

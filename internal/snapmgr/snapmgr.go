@@ -28,9 +28,16 @@ import (
 // against Refresh automatically — the contract a background
 // auto-refresher (Start/Stop) relies on.
 type Manager struct {
-	store *dyngraph.Tracked
-	cur   atomic.Pointer[csr.Graph]
-	epoch atomic.Uint64
+	store  *dyngraph.Tracked
+	layout Layout
+	cur    atomic.Pointer[csr.Graph]
+	view   atomic.Pointer[View]
+	epoch  atomic.Uint64
+
+	// churn accumulates dirty-vertex counts since the reordered layouts
+	// last computed their permutation; written only under the exclusive
+	// gate.
+	churn int
 
 	// gate serializes refresh (exclusive) against ingest (shared):
 	// concurrent Ingest calls proceed together, none overlaps a
@@ -50,19 +57,22 @@ type Manager struct {
 }
 
 // New builds the initial snapshot (a full FromStore materialization of
-// everything inserted so far) and returns the manager at epoch 1.
+// everything inserted so far) and returns the manager at epoch 1,
+// publishing plain CSR snapshots. NewLayout selects another storage
+// format.
 func New(workers int, store *dyngraph.Tracked) *Manager {
-	m := &Manager{store: store}
-	m.Refresh(workers)
-	return m
+	return NewLayout(workers, store, LayoutPlain)
 }
 
 // Store returns the tracked store the manager materializes.
 func (m *Manager) Store() *dyngraph.Tracked { return m.store }
 
-// Current returns the latest published snapshot: one atomic load, never
-// blocking, safe during concurrent Refresh. The returned graph is
-// immutable.
+// Current returns the latest published snapshot as a CSR graph: one
+// atomic load, never blocking, safe during concurrent Refresh. The
+// returned graph is immutable. For the reordered layouts the graph is
+// in permuted id space (use View for the translation tables); under
+// LayoutCompressed there is no CSR and Current returns nil — layout-
+// aware readers should use View.
 func (m *Manager) Current() *csr.Graph { return m.cur.Load() }
 
 // Epoch returns the number of published materializations; it increases
@@ -86,8 +96,10 @@ func (m *Manager) Refresh(workers int) *csr.Graph {
 	start := time.Now()
 	m.dirty = m.store.Flush(m.dirty[:0])
 	consumed := len(m.dirty)
-	g := csr.Refresh(workers, m.cur.Load(), m.store, m.dirty)
-	m.cur.Store(g)
+	v := m.materialize(workers, m.view.Load(), m.dirty)
+	m.view.Store(v)
+	m.cur.Store(v.G)
+	g := v.G
 	m.epoch.Add(1)
 	m.lastPub.Store(time.Now().UnixNano())
 

@@ -1,0 +1,93 @@
+package sssp
+
+import (
+	"sync/atomic"
+
+	"snapdyn/internal/compress"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+	"snapdyn/internal/traversal"
+)
+
+// StreamScratch carries the reusable state of compressed-adjacency SSSP
+// runs: the distance array, the traversal engine's arena, and the relax
+// hook bound once so the steady state allocates no closures. A
+// StreamScratch must not be shared by concurrent runs.
+type StreamScratch struct {
+	trav  *traversal.Scratch
+	res   traversal.Result
+	dist  []int64
+	src   [1]uint32
+	wf    WeightFunc
+	relax func(u, v uint32, t uint32) bool
+}
+
+// NewStreamScratch returns an empty arena; buffers are sized on first
+// use.
+func NewStreamScratch() *StreamScratch {
+	s := &StreamScratch{trav: traversal.NewScratch()}
+	s.relax = func(u, v uint32, t uint32) bool {
+		nd := atomic.LoadInt64(&s.dist[u]) + s.wf(t)
+		for {
+			dv := atomic.LoadInt64(&s.dist[v])
+			if nd >= dv {
+				return false
+			}
+			if atomic.CompareAndSwapInt64(&s.dist[v], dv, nd) {
+				return true
+			}
+		}
+	}
+	return s
+}
+
+// RunStream computes shortest path distances from src directly over a
+// gap-compressed adjacency, without materializing CSR arrays: it drives
+// the traversal engine's label-correcting relaxation mode
+// (traversal.RunStream with a Relax hook) as a frontier Bellman-Ford.
+// Distances match Dijkstra (and Run) exactly; unreachable vertices hold
+// Inf. wf nil means LabelWeights. sc nil allocates a throwaway scratch;
+// a warm scratch makes repeated serial runs over one snapshot
+// allocation-free.
+//
+// Unlike the delta-stepping kernel this settles no distance bands — a
+// vertex re-enters the frontier whenever its label improves — trading
+// wasted re-relaxations for zero preprocessing of the compressed
+// payload. It is the memory-scale query path; Run on CSR remains the
+// throughput path.
+func RunStream(cg *compress.Graph, src edge.ID, workers int, wf WeightFunc, sc *StreamScratch) []int64 {
+	if sc == nil {
+		sc = NewStreamScratch()
+	}
+	if wf == nil {
+		wf = LabelWeights
+	}
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	sc.wf = wf
+	n := cg.N
+	if cap(sc.dist) < n {
+		sc.dist = make([]int64, n)
+	}
+	sc.dist = sc.dist[:n]
+	dist := sc.dist
+	if workers == 1 {
+		for i := range dist {
+			dist[i] = Inf
+		}
+	} else {
+		par.ForBlock(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dist[i] = Inf
+			}
+		})
+	}
+	dist[src] = 0
+	sc.src[0] = uint32(src)
+	traversal.RunStream(cg, sc.src[:1], traversal.Options{
+		Workers: workers,
+		Hooks:   traversal.Hooks{Relax: sc.relax},
+	}, sc.trav, &sc.res)
+	return dist
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync/atomic"
 
+	"snapdyn/internal/compress"
 	"snapdyn/internal/csr"
 	"snapdyn/internal/frontier"
 	"snapdyn/internal/par"
@@ -63,16 +64,26 @@ const thresholdSkewRef = 128
 // direction-optimizing traversal, caching the result in the Scratch by
 // (n, m) so steady-state runs skip the O(n) degree scan.
 func DeriveThresholds(g *csr.Graph) (alpha, beta int64) {
+	if g.N == 0 || g.NumEdges() == 0 {
+		return DefaultAlpha, DefaultBeta
+	}
+	return deriveThresholdsShape(g.N, g.NumEdges(), g.MaxDegree())
+}
+
+// deriveThresholdsShape is DeriveThresholds on the bare shape numbers,
+// shared by the plain and compressed adjacency providers (compress
+// caches m and max degree at build time, so neither path pays a decode
+// scan here).
+func deriveThresholdsShape(n int, m, maxDeg int64) (alpha, beta int64) {
 	alpha, beta = DefaultAlpha, DefaultBeta
-	m := g.NumEdges()
-	if g.N == 0 || m == 0 {
+	if n == 0 || m == 0 {
 		return alpha, beta
 	}
-	mean := m / int64(g.N)
+	mean := m / int64(n)
 	if mean < 1 {
 		mean = 1
 	}
-	skew := g.MaxDegree() / mean
+	skew := maxDeg / mean
 	for s := skew; s > thresholdSkewRef; s >>= 1 {
 		alpha -= 2
 		beta += 2
@@ -189,12 +200,13 @@ type Scratch struct {
 // NewScratch returns an empty arena; buffers are sized on first use.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// thresholds returns the derived direction-switching thresholds for g,
-// recomputing only when the graph shape changed since the last call.
-func (s *Scratch) thresholds(g *csr.Graph) (int64, int64) {
-	if s.thrAlpha == 0 || s.thrN != g.N || s.thrM != g.NumEdges() {
-		s.thrAlpha, s.thrBeta = DeriveThresholds(g)
-		s.thrN, s.thrM = g.N, g.NumEdges()
+// thresholds returns the derived direction-switching thresholds for the
+// graph shape, recomputing only when the shape changed since the last
+// call.
+func (s *Scratch) thresholds(n int, m, maxDeg int64) (int64, int64) {
+	if s.thrAlpha == 0 || s.thrN != n || s.thrM != m {
+		s.thrAlpha, s.thrBeta = deriveThresholdsShape(n, m, maxDeg)
+		s.thrN, s.thrM = n, m
 	}
 	return s.thrAlpha, s.thrBeta
 }
@@ -224,6 +236,11 @@ func (s *Scratch) exec() *exec {
 		e.bottomUpFast = e.bottomUpFastBody
 		e.bottomUpVisit = e.bottomUpVisitBody
 		e.relaxBody = e.relaxStepBody
+		e.streamTopFast = e.streamTopFastBody
+		e.streamTopVisit = e.streamTopVisitBody
+		e.streamBotFast = e.streamBotFastBody
+		e.streamBotVisit = e.streamBotVisitBody
+		e.streamRelax = e.streamRelaxBody
 		s.ex = e
 	}
 	return s.ex
@@ -266,11 +283,37 @@ func (r *Result) Reset(workers, n int) {
 // (allocated when nil) and drawing buffers from scratch (a temporary
 // arena when nil). Sources must be distinct. It returns res.
 func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Result) *Result {
+	return runEngine(g, nil, sources, opt, scratch, res)
+}
+
+// RunStream executes the same traversal directly over a gap-compressed
+// adjacency: every engine mode (top-down, direction-optimizing pull,
+// relaxation) decodes arcs through a zero-alloc compress.Cursor instead
+// of indexing CSR spans. The streamed top-down step partitions by
+// frontier *vertices* (dynamic chunks) rather than by edges — a
+// compressed block has no random access into the middle of an arc list —
+// so a single mega-hub level is serialized onto one worker; the
+// direction heuristic's pull switch covers exactly that regime.
+// Semantics, hooks, thresholds, and results are otherwise identical to
+// Run on the equivalent CSR.
+func RunStream(cg *compress.Graph, sources []uint32, opt Options, scratch *Scratch, res *Result) *Result {
+	return runEngine(nil, cg, sources, opt, scratch, res)
+}
+
+// runEngine is the shared level loop behind Run (g set) and RunStream
+// (cg set): exactly one of the two adjacency providers is non-nil.
+func runEngine(g *csr.Graph, cg *compress.Graph, sources []uint32, opt Options, scratch *Scratch, res *Result) *Result {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = par.MaxWorkers()
 	}
-	n := g.N
+	var n int
+	var numEdges, maxDeg int64
+	if cg != nil {
+		n, numEdges, maxDeg = cg.N, cg.NumEdges(), cg.MaxDegree()
+	} else {
+		n, numEdges, maxDeg = g.N, g.NumEdges(), 0 // maxDeg lazy below
+	}
 	if res == nil {
 		res = &Result{}
 	}
@@ -286,7 +329,10 @@ func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Res
 	// heuristic is live.
 	alpha, beta := opt.Alpha, opt.Beta
 	if (alpha <= 0 || beta <= 0) && opt.Strategy == DirectionOpt && opt.Hooks.Relax == nil {
-		da, db := scratch.thresholds(g)
+		if cg == nil && (scratch.thrAlpha == 0 || scratch.thrN != n || scratch.thrM != numEdges) {
+			maxDeg = g.MaxDegree() // only pay the degree scan on a shape change
+		}
+		da, db := scratch.thresholds(n, numEdges, maxDeg)
 		if alpha <= 0 {
 			alpha = da
 		}
@@ -302,7 +348,7 @@ func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Res
 	}
 
 	e := scratch.exec()
-	e.g, e.res = g, res
+	e.g, e.cg, e.res = g, cg, res
 	e.filter, e.arc = opt.Filter, opt.Arc
 	e.onArc, e.relax = opt.Hooks.OnArc, opt.Hooks.Relax
 	e.workers = workers
@@ -326,8 +372,12 @@ func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Res
 	e.needMass = needMass
 	var curEdges, unexplored int64
 	if needMass {
-		curEdges = g.DegreeSum(workers, sources)
-		unexplored = g.NumEdges() - curEdges
+		if cg != nil {
+			curEdges = cg.DegreeSum(workers, sources)
+		} else {
+			curEdges = g.DegreeSum(workers, sources)
+		}
+		unexplored = numEdges - curEdges
 	}
 	pull := false
 
@@ -372,7 +422,7 @@ func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Res
 	res.Levels = int(level)
 	// Drop the per-run references so a long-lived Scratch does not pin
 	// the graph, result, or kernel closures between traversals.
-	e.g, e.res = nil, nil
+	e.g, e.cg, e.res = nil, nil, nil
 	e.filter, e.arc, e.onArc, e.relax = nil, nil, nil, nil
 	e.cur, e.next, e.curBits, e.nextBits, e.verts, e.offsets = nil, nil, nil, nil, nil, nil
 	return res
@@ -384,7 +434,8 @@ func Run(g *csr.Graph, sources []uint32, opt Options, scratch *Scratch, res *Res
 // steady state allocates no closures at all.
 type exec struct {
 	sc  *Scratch
-	g   *csr.Graph
+	g   *csr.Graph      // plain adjacency provider (Run)
+	cg  *compress.Graph // streaming adjacency provider (RunStream)
 	res *Result
 
 	filter EdgeFilter
@@ -411,6 +462,13 @@ type exec struct {
 	bottomUpFast  func(lo, hi int)
 	bottomUpVisit func(lo, hi int)
 	relaxBody     func(lo, hi int)
+
+	// Streaming-decode bodies (RunStream).
+	streamTopFast  func(lo, hi int)
+	streamTopVisit func(lo, hi int)
+	streamBotFast  func(lo, hi int)
+	streamBotVisit func(lo, hi int)
+	streamRelax    func(lo, hi int)
 }
 
 // runTopDown pushes from the frontier along out-arcs, partitioning the
@@ -421,6 +479,9 @@ type exec struct {
 // vertices discovered and, when needMass is set, their total out-degree
 // (the next frontier's edge mass).
 func (e *exec) runTopDown() (int, int64) {
+	if e.cg != nil {
+		return e.runTopDownStream()
+	}
 	verts := e.cur.Vertices()
 	offsets := e.sc.offsets[:0]
 	for _, u := range verts {
@@ -573,11 +634,22 @@ func (e *exec) runBottomUp() (int, int64) {
 	e.curBits = e.cur.Bits(e.workers)
 	e.nextBits = e.next.DenseWriter()
 	e.found, e.foundEdges = 0, 0
-	body := e.bottomUpFast
-	if e.onArc != nil || e.arc != nil {
-		body = e.bottomUpVisit
+	n := 0
+	var body func(lo, hi int)
+	if e.cg != nil {
+		n = e.cg.N
+		body = e.streamBotFast
+		if e.onArc != nil || e.arc != nil {
+			body = e.streamBotVisit
+		}
+	} else {
+		n = e.g.N
+		body = e.bottomUpFast
+		if e.onArc != nil || e.arc != nil {
+			body = e.bottomUpVisit
+		}
 	}
-	par.ForDynamic(e.workers, e.g.N, bottomUpChunk, body)
+	par.ForDynamic(e.workers, n, bottomUpChunk, body)
 	e.next.SetCount(int(e.found))
 	return int(e.found), e.foundEdges
 }
@@ -699,7 +771,11 @@ func (e *exec) runRelax() int {
 	e.verts = e.cur.Vertices()
 	e.nextBits = e.next.DenseWriter()
 	e.found, e.foundEdges = 0, 0
-	par.ForDynamic(e.workers, len(e.verts), relaxChunk, e.relaxBody)
+	body := e.relaxBody
+	if e.cg != nil {
+		body = e.streamRelax
+	}
+	par.ForDynamic(e.workers, len(e.verts), relaxChunk, body)
 	e.next.SetCount(int(e.foundEdges))
 	return int(e.found)
 }

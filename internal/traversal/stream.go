@@ -1,0 +1,331 @@
+package traversal
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"snapdyn/internal/compress"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/par"
+)
+
+// This file holds the streaming-decode halves of the engine: the level
+// bodies RunStream dispatches to when the adjacency provider is a
+// gap-compressed graph. They mirror the CSR bodies arc-for-arc — same
+// claim protocol, same hook call sites, same mass bookkeeping — with two
+// structural differences. First, arcs arrive through a stack-owned
+// compress.Cursor instead of CSR span indexing. Second, the top-down
+// step partitions by frontier vertices under dynamic scheduling and
+// publishes discoveries through the next frontier's dense writer (the
+// relax-body pattern) rather than edge-partitioning into per-worker
+// buckets: a compressed block only decodes front-to-back, so an edge
+// prefix-sum cannot hand workers mid-list arc ranges.
+
+// runTopDownStream pushes from the frontier over compressed adjacency.
+func (e *exec) runTopDownStream() (int, int64) {
+	e.verts = e.cur.Vertices()
+	e.nextBits = e.next.DenseWriter()
+	e.found, e.foundEdges = 0, 0
+	body := e.streamTopFast
+	if e.onArc != nil || e.arc != nil {
+		body = e.streamTopVisit
+	}
+	par.ForDynamic(e.workers, len(e.verts), relaxChunk, body)
+	e.next.SetCount(int(e.found))
+	return int(e.found), e.foundEdges
+}
+
+// streamTopFastBody is the hook-free streaming push inner loop.
+func (e *exec) streamTopFastBody(lo, hi int) {
+	cg, res := e.cg, e.res
+	level, filter, needMass := e.level, e.filter, e.needMass
+	visited := res.Visited
+	nextBits := e.nextBits
+	var cnt, edges int64
+	var c compress.Cursor
+	for _, u := range e.verts[lo:hi] {
+		cg.Begin(&c, u)
+		for {
+			v, t, ok := c.Next()
+			if !ok {
+				break
+			}
+			if filter != nil && !filter(t) {
+				continue
+			}
+			if atomic.LoadInt32(&res.Level[v]) != NotVisited {
+				continue
+			}
+			if atomic.CompareAndSwapInt32(&res.Level[v], NotVisited, level) {
+				res.Parent[v] = u
+				visited.TrySet(v)
+				nextBits.TrySet(v)
+				cnt++
+				if needMass {
+					edges += cg.Degree(v)
+				}
+			}
+		}
+	}
+	if cnt > 0 {
+		atomic.AddInt64(&e.found, cnt)
+		if needMass {
+			atomic.AddInt64(&e.foundEdges, edges)
+		}
+	}
+}
+
+// streamTopVisitBody is the visitor streaming push inner loop: adds the
+// endpoint-aware arc filter and OnArc for claimed discoveries and
+// same-level DAG ties, matching topDownVisitBody.
+func (e *exec) streamTopVisitBody(lo, hi int) {
+	cg, res := e.cg, e.res
+	level, filter, arcF, onArc, needMass := e.level, e.filter, e.arc, e.onArc, e.needMass
+	visited := res.Visited
+	nextBits := e.nextBits
+	var cnt, edges int64
+	var c compress.Cursor
+	for _, u := range e.verts[lo:hi] {
+		cg.Begin(&c, u)
+		for {
+			v, t, ok := c.Next()
+			if !ok {
+				break
+			}
+			if filter != nil && !filter(t) {
+				continue
+			}
+			if arcF != nil && !arcF(u, v, t) {
+				continue
+			}
+			lv := atomic.LoadInt32(&res.Level[v])
+			if lv == NotVisited {
+				if atomic.CompareAndSwapInt32(&res.Level[v], NotVisited, level) {
+					res.Parent[v] = u
+					visited.TrySet(v)
+					nextBits.TrySet(v)
+					cnt++
+					if needMass {
+						edges += cg.Degree(v)
+					}
+					if onArc != nil {
+						onArc(u, v, t, true)
+					}
+					continue
+				}
+				lv = atomic.LoadInt32(&res.Level[v])
+			}
+			if lv == level && onArc != nil {
+				onArc(u, v, t, false)
+			}
+		}
+	}
+	if cnt > 0 {
+		atomic.AddInt64(&e.found, cnt)
+		if needMass {
+			atomic.AddInt64(&e.foundEdges, edges)
+		}
+	}
+}
+
+// streamBotFastBody is the hook-free streaming pull inner loop: identical
+// word-skipping structure to bottomUpFastBody, decoding each unvisited
+// vertex's own block until the first frontier parent.
+func (e *exec) streamBotFastBody(lo, hi int) {
+	cg, res := e.cg, e.res
+	level, filter := e.level, e.filter
+	curBits, nextBits := e.curBits, e.nextBits
+	words := res.Visited.Words()
+	var cnt, edges int64
+	var c compress.Cursor
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		w := words[wi]
+		if w == ^uint64(0) {
+			continue // 64 finished vertices: skip the whole word
+		}
+		base := wi << 6
+		for m := ^w; m != 0; m &= m - 1 {
+			v := base + bits.TrailingZeros64(m)
+			if v >= hi {
+				break
+			}
+			cg.Begin(&c, edge.ID(v))
+			for {
+				u, t, ok := c.Next()
+				if !ok {
+					break
+				}
+				if !curBits.Get(u) {
+					continue
+				}
+				if filter != nil && !filter(t) {
+					continue
+				}
+				res.Level[v] = level
+				res.Parent[v] = u
+				words[wi] |= 1 << (uint(v) & 63)
+				nextBits.TrySet(uint32(v))
+				cnt++
+				// The mass heuristic wants v's full degree; the scan
+				// stopped early, so read it from the block header.
+				edges += cg.Degree(edge.ID(v))
+				break
+			}
+		}
+	}
+	if cnt > 0 {
+		atomic.AddInt64(&e.found, cnt)
+		atomic.AddInt64(&e.foundEdges, edges)
+	}
+}
+
+// streamBotVisitBody is the visitor streaming pull inner loop: scans the
+// full block so every predecessor arc is reported, like bottomUpVisitBody.
+func (e *exec) streamBotVisitBody(lo, hi int) {
+	cg, res := e.cg, e.res
+	level, filter, arcF, onArc := e.level, e.filter, e.arc, e.onArc
+	curBits, nextBits := e.curBits, e.nextBits
+	words := res.Visited.Words()
+	var cnt, edges int64
+	var c compress.Cursor
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		w := words[wi]
+		if w == ^uint64(0) {
+			continue
+		}
+		base := wi << 6
+		for m := ^w; m != 0; m &= m - 1 {
+			v := base + bits.TrailingZeros64(m)
+			if v >= hi {
+				break
+			}
+			claimed := false
+			cg.Begin(&c, edge.ID(v))
+			for {
+				u, t, ok := c.Next()
+				if !ok {
+					break
+				}
+				if !curBits.Get(u) {
+					continue
+				}
+				if filter != nil && !filter(t) {
+					continue
+				}
+				if arcF != nil && !arcF(u, uint32(v), t) {
+					continue
+				}
+				if !claimed {
+					claimed = true
+					res.Level[v] = level
+					res.Parent[v] = u
+					words[wi] |= 1 << (uint(v) & 63)
+					nextBits.TrySet(uint32(v))
+					cnt++
+					edges += cg.Degree(edge.ID(v))
+					if onArc == nil {
+						break
+					}
+					onArc(u, uint32(v), t, true)
+					continue
+				}
+				onArc(u, uint32(v), t, false)
+			}
+		}
+	}
+	if cnt > 0 {
+		atomic.AddInt64(&e.found, cnt)
+		atomic.AddInt64(&e.foundEdges, edges)
+	}
+}
+
+// streamRelaxBody is the streaming label-correcting inner loop, the
+// relaxStepBody twin over a cursor decode.
+func (e *exec) streamRelaxBody(lo, hi int) {
+	cg, res := e.cg, e.res
+	filter, arcF, relax := e.filter, e.arc, e.relax
+	level, nextBits := e.level, e.nextBits
+	var enq, newly int64
+	var c compress.Cursor
+	for _, u := range e.verts[lo:hi] {
+		cg.Begin(&c, u)
+		for {
+			v, t, ok := c.Next()
+			if !ok {
+				break
+			}
+			if filter != nil && !filter(t) {
+				continue
+			}
+			if arcF != nil && !arcF(u, v, t) {
+				continue
+			}
+			if !relax(u, v, t) {
+				continue
+			}
+			atomic.StoreInt32(&res.Level[v], level)
+			atomic.StoreUint32(&res.Parent[v], u)
+			if res.Visited.TrySet(v) {
+				newly++
+			}
+			if nextBits.TrySet(v) {
+				enq++
+			}
+		}
+	}
+	if newly > 0 || enq > 0 {
+		atomic.AddInt64(&e.found, newly)
+		atomic.AddInt64(&e.foundEdges, enq)
+	}
+}
+
+// StreamComponentsInto labels the connected components of a symmetric
+// compressed graph: comp[v] is the smallest vertex id in v's component,
+// bit-identical to cc.ComponentsInto on the equivalent CSR. The sweep
+// visits roots in ascending id order, so each BFS root is its
+// component's minimum by construction. comp and queue are caller-owned
+// buffers grown on demand and returned, making repeated calls
+// allocation-free once warm; the scan is serial (one cursor decode per
+// arc, O(n+m)) — appropriate for the pooled query path, which bounds
+// per-query parallelism anyway.
+func StreamComponentsInto(cg *compress.Graph, comp []uint32, queue []uint32) (labels, queueOut []uint32) {
+	n := cg.N
+	if cap(comp) < n {
+		comp = make([]uint32, n)
+	}
+	comp = comp[:n]
+	const unset = ^uint32(0)
+	for i := range comp {
+		comp[i] = unset
+	}
+	if queue == nil {
+		queue = make([]uint32, 0, 1024)
+	}
+	var c compress.Cursor
+	for u := 0; u < n; u++ {
+		if comp[u] != unset {
+			continue
+		}
+		root := uint32(u)
+		comp[u] = root
+		if cg.Degree(edge.ID(u)) == 0 {
+			continue
+		}
+		queue = append(queue[:0], root)
+		for head := 0; head < len(queue); head++ {
+			x := queue[head]
+			cg.Begin(&c, x)
+			for {
+				v, _, ok := c.Next()
+				if !ok {
+					break
+				}
+				if comp[v] == unset {
+					comp[v] = root
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return comp, queue
+}

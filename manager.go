@@ -43,25 +43,62 @@ type SnapshotManager struct {
 	cur atomic.Pointer[Snapshot]
 }
 
+// SnapshotLayout selects the storage format the manager publishes its
+// snapshots in; see the Snapshot* constants. Queries on any layout
+// accept and report original vertex ids and return identical results —
+// the layout only changes the snapshot's memory footprint and traversal
+// locality.
+type SnapshotLayout = snapmgr.Layout
+
+const (
+	// SnapshotPlain stores unpermuted CSR arrays (the default).
+	SnapshotPlain = snapmgr.LayoutPlain
+	// SnapshotDegree relabels hubs-first for locality.
+	SnapshotDegree = snapmgr.LayoutDegree
+	// SnapshotBFS relabels in BFS visit order from the largest hub.
+	SnapshotBFS = snapmgr.LayoutBFS
+	// SnapshotRCM relabels by reverse Cuthill-McKee (bandwidth
+	// minimization).
+	SnapshotRCM = snapmgr.LayoutRCM
+	// SnapshotCompressed stores gap-coded adjacency bytes, traversed by
+	// streaming decode — the smallest footprint per edge.
+	SnapshotCompressed = snapmgr.LayoutCompressed
+)
+
 // Manager builds the initial snapshot with the given worker count and
-// returns the graph's snapshot manager at epoch 1. Creating several
-// managers for one graph is not useful: each Refresh consumes the
-// graph's single dirty set.
+// returns the graph's snapshot manager at epoch 1, publishing plain CSR
+// snapshots. Creating several managers for one graph is not useful:
+// each Refresh consumes the graph's single dirty set.
 func (g *Graph) Manager(workers int) *SnapshotManager {
-	sm := &SnapshotManager{g: g, m: snapmgr.New(workers, g.store)}
-	sm.cur.Store(&Snapshot{g: sm.m.Current(), undirected: g.undirected})
+	return g.ManagerWithLayout(workers, SnapshotPlain)
+}
+
+// ManagerWithLayout is Manager publishing snapshots in the given
+// storage layout. Reordered layouts (SnapshotDegree, SnapshotBFS,
+// SnapshotRCM) keep their permutation fresh across incremental
+// refreshes — deltas splice through the held ordering until cumulative
+// churn passes ~30% of the vertex set, then the ordering is recomputed;
+// SnapshotCompressed delta-splices the gap-coded payload byte-wise.
+// Queries through Current are layout-blind: same inputs, same results,
+// original ids everywhere.
+func (g *Graph) ManagerWithLayout(workers int, layout SnapshotLayout) *SnapshotManager {
+	sm := &SnapshotManager{g: g, m: snapmgr.NewLayout(workers, g.store, layout)}
+	sm.cur.Store(snapshotFromView(sm.m.View(), g.undirected))
 	return sm
 }
+
+// Layout returns the storage format this manager publishes.
+func (sm *SnapshotManager) Layout() SnapshotLayout { return sm.m.Layout() }
 
 // Current returns the latest published snapshot: an atomic load (plus,
 // right after an epoch change, one small wrapper allocation), safe from
 // any goroutine at any time, including during a concurrent Refresh.
 func (sm *SnapshotManager) Current() *Snapshot {
-	g := sm.m.Current()
-	if s := sm.cur.Load(); s != nil && s.g == g {
+	v := sm.m.View()
+	if s := sm.cur.Load(); s != nil && s.view == v {
 		return s
 	}
-	ns := &Snapshot{g: g, undirected: sm.g.undirected}
+	ns := snapshotFromView(v, sm.g.undirected)
 	sm.cur.Store(ns)
 	return ns
 }

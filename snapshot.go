@@ -1,35 +1,160 @@
 package snapdyn
 
 import (
+	"sync"
+
 	"snapdyn/internal/cc"
 	"snapdyn/internal/centrality"
+	"snapdyn/internal/compress"
 	"snapdyn/internal/csr"
 	"snapdyn/internal/lct"
+	"snapdyn/internal/reorder"
+	"snapdyn/internal/snapmgr"
 	"snapdyn/internal/subgraph"
 	"snapdyn/internal/traversal"
 )
 
-// Snapshot is an immutable CSR view of a graph, the substrate for the
+// Snapshot is an immutable view of a graph, the substrate for the
 // analysis kernels. Snapshots are safe for concurrent queries.
+//
+// A snapshot's storage layout is invisible at this API: managers built
+// with ManagerWithLayout publish snapshots whose backing store may be a
+// locality-reordered CSR (vertex ids permuted internally) or a
+// gap-compressed adjacency, and every query accepts and reports
+// original vertex ids — sources are translated on the way in, levels,
+// parents, distances, and component labels on the way out, so results
+// are identical across layouts. Queries without a layout-native kernel
+// run over a lazily materialized (and cached) original-id CSR.
 type Snapshot struct {
-	g *csr.Graph
+	g *csr.Graph // CSR arrays, in layout space for reordered views; nil for compressed
+	// cg is the gap-compressed payload under SnapshotCompressed; queries
+	// with streaming kernels (BFS, SSSP, components) decode it directly.
+	cg *compress.Graph
+	// perm/inv translate reordered views: layoutID = perm[origID],
+	// origID = inv[layoutID]. Both nil for plain and compressed views.
+	perm, inv reorder.Permutation
+	// view is the published pipeline view this snapshot wraps (nil for
+	// one-shot snapshots); the manager uses it as its cache identity.
+	view *snapmgr.View
 	// undirected records whether the source graph maintained mirror
 	// arcs; engines that need symmetry (BFSDirectionOpt) consult it.
 	undirected bool
+
+	// baseOnce guards the lazy original-id CSR materialization backing
+	// kernels without a layout-native path.
+	baseOnce sync.Once
+	baseG    *csr.Graph
+}
+
+// snapshotFromView wraps a published pipeline view.
+func snapshotFromView(v *snapmgr.View, undirected bool) *Snapshot {
+	return &Snapshot{g: v.G, cg: v.C, perm: v.Perm, inv: v.Inv, view: v, undirected: undirected}
+}
+
+// layoutPlain reports whether the snapshot is stored as an unpermuted
+// CSR, the layout every kernel consumes natively.
+func (s *Snapshot) layoutPlain() bool { return s.cg == nil && s.perm == nil }
+
+// toLayout maps an original vertex id into the storage layout's id
+// space (the identity except for reordered views).
+func (s *Snapshot) toLayout(u VertexID) VertexID {
+	if s.perm != nil {
+		return s.perm[u]
+	}
+	return u
+}
+
+// csrView returns an original-id CSR of the snapshot, materializing and
+// caching one on first use for non-plain layouts: reordered views apply
+// the inverse permutation, compressed views decode (which sorts each
+// adjacency by neighbor id — an equivalent arc multiset, possibly a
+// different per-vertex arc order). Kernels without a layout-native path
+// route through here, trading a one-time O(n + m) rebuild for exact
+// plain-snapshot semantics.
+func (s *Snapshot) csrView() *csr.Graph {
+	if s.layoutPlain() {
+		return s.g
+	}
+	s.baseOnce.Do(func() {
+		if s.cg != nil {
+			s.baseG = s.cg.ToCSR(0)
+		} else {
+			s.baseG = reorder.ApplyInto(0, s.g, s.inv, s.perm, nil)
+		}
+	})
+	return s.baseG
+}
+
+// run dispatches a traversal to the layout's engine: streaming decode
+// for compressed views, array indexing otherwise (layout-space ids).
+func (s *Snapshot) run(sources []uint32, opt traversal.Options, sc *traversal.Scratch, res *traversal.Result) *traversal.Result {
+	if s.cg != nil {
+		return traversal.RunStream(s.cg, sources, opt, sc, res)
+	}
+	return traversal.Run(s.g, sources, opt, sc, res)
+}
+
+// translateResultInto maps a layout-space traversal result back to
+// original ids into out (fresh arrays when out is nil), returning the
+// result callers should read. Plain and compressed layouts already
+// produce original-id results and pass through untouched.
+func (s *Snapshot) translateResultInto(res, out *traversal.Result) *traversal.Result {
+	if s.perm == nil {
+		return res
+	}
+	if out == nil {
+		out = &traversal.Result{}
+	}
+	n := len(res.Level)
+	if cap(out.Level) < n || cap(out.Parent) < n {
+		out.Level = make([]int32, n)
+		out.Parent = make([]uint32, n)
+	} else {
+		out.Level = out.Level[:n]
+		out.Parent = out.Parent[:n]
+	}
+	out.Reached, out.Levels = res.Reached, res.Levels
+	for v := 0; v < n; v++ {
+		lv := res.Level[s.perm[v]]
+		out.Level[v] = lv
+		if lv != traversal.NotVisited {
+			out.Parent[v] = s.inv[res.Parent[s.perm[v]]]
+		} else {
+			out.Parent[v] = 0
+		}
+	}
+	return out
 }
 
 // NumVertices returns the vertex-set size.
-func (s *Snapshot) NumVertices() int { return s.g.N }
+func (s *Snapshot) NumVertices() int {
+	if s.cg != nil {
+		return s.cg.N
+	}
+	return s.g.N
+}
 
 // NumEdges returns the number of arcs in the snapshot.
-func (s *Snapshot) NumEdges() int64 { return s.g.NumEdges() }
+func (s *Snapshot) NumEdges() int64 {
+	if s.cg != nil {
+		return s.cg.NumEdges()
+	}
+	return s.g.NumEdges()
+}
 
 // OutDegree returns u's out-degree.
-func (s *Snapshot) OutDegree(u VertexID) int64 { return s.g.Degree(u) }
+func (s *Snapshot) OutDegree(u VertexID) int64 {
+	if s.cg != nil {
+		return s.cg.Degree(u)
+	}
+	return s.g.Degree(s.toLayout(u))
+}
 
 // Neighbors returns read-only views of u's adjacency and time labels.
+// Non-plain layouts serve from the cached original-id CSR (see
+// csrView), so the returned heads are always original ids.
 func (s *Snapshot) Neighbors(u VertexID) (adj []uint32, ts []uint32) {
-	return s.g.Neighbors(u)
+	return s.csrView().Neighbors(u)
 }
 
 // BFSResult holds a traversal outcome. Level[v] is the hop distance or
@@ -41,7 +166,10 @@ const NotVisited = traversal.NotVisited
 
 // BFS runs a parallel level-synchronous breadth-first search from src.
 func (s *Snapshot) BFS(workers int, src VertexID) *BFSResult {
-	return traversal.BFS(workers, s.g, src)
+	if s.layoutPlain() {
+		return traversal.BFS(workers, s.g, src)
+	}
+	return s.BFSWith(src, BFSOptions{Workers: workers})
 }
 
 // BFSStrategy selects the frontier-expansion engine for option-driven
@@ -101,7 +229,8 @@ func (s *Snapshot) demote(opt BFSOptions) BFSOptions {
 // requires mirror arcs.
 func (s *Snapshot) BFSWith(src VertexID, opt BFSOptions) *BFSResult {
 	opt = s.demote(opt)
-	return traversal.Run(s.g, []uint32{src}, opt.traversalOptions(nil), nil, nil)
+	res := s.run([]uint32{s.toLayout(src)}, opt.traversalOptions(nil), nil, nil)
+	return s.translateResultInto(res, nil)
 }
 
 // Traverser runs repeated traversals over one snapshot while reusing
@@ -111,57 +240,94 @@ func (s *Snapshot) BFSWith(src VertexID, opt BFSOptions) *BFSResult {
 // overwritten by the next call; a Traverser is not safe for concurrent
 // use (create one per goroutine).
 type Traverser struct {
-	g       *csr.Graph
+	s       *Snapshot
 	opt     BFSOptions
 	scratch *traversal.Scratch
 	res     traversal.Result
-	src     [1]uint32
+	// out is the original-id translation of res for reordered layouts,
+	// buffer-reused like res itself.
+	out traversal.Result
+	src [1]uint32
 }
 
 // Traverser returns a reusable traversal engine over the snapshot. On a
 // directed snapshot BFSDirectionOpt falls back to top-down: the pull
 // step requires mirror arcs.
 func (s *Snapshot) Traverser(opt BFSOptions) *Traverser {
-	return &Traverser{g: s.g, opt: s.demote(opt), scratch: traversal.NewScratch()}
+	return &Traverser{s: s, opt: s.demote(opt), scratch: traversal.NewScratch()}
 }
 
 // BFS traverses from src, reusing the internal scratch and result.
 func (t *Traverser) BFS(src VertexID) *BFSResult {
-	t.src[0] = src
-	return traversal.Run(t.g, t.src[:], t.opt.traversalOptions(nil), t.scratch, &t.res)
+	t.src[0] = t.s.toLayout(src)
+	res := t.s.run(t.src[:], t.opt.traversalOptions(nil), t.scratch, &t.res)
+	return t.s.translateResultInto(res, &t.out)
 }
 
 // TemporalBFS traverses from src over arcs with time labels in [lo, hi],
 // reusing the internal scratch and result.
 func (t *Traverser) TemporalBFS(src VertexID, lo, hi uint32) *BFSResult {
-	t.src[0] = src
-	return traversal.Run(t.g, t.src[:],
+	t.src[0] = t.s.toLayout(src)
+	res := t.s.run(t.src[:],
 		t.opt.traversalOptions(traversal.TimeWindow(lo, hi)), t.scratch, &t.res)
+	return t.s.translateResultInto(res, &t.out)
 }
 
 // MultiBFS traverses from all sources simultaneously (each at level 0),
 // reusing the internal scratch and result. Sources must be distinct.
+// Reordered layouts translate the sources through an internal buffer,
+// so the caller's slice is never modified.
 func (t *Traverser) MultiBFS(sources []VertexID) *BFSResult {
-	return traversal.Run(t.g, sources, t.opt.traversalOptions(nil), t.scratch, &t.res)
+	if t.s.perm != nil {
+		lsrc := make([]uint32, len(sources))
+		for i, u := range sources {
+			lsrc[i] = t.s.perm[u]
+		}
+		res := t.s.run(lsrc, t.opt.traversalOptions(nil), t.scratch, &t.res)
+		return t.s.translateResultInto(res, &t.out)
+	}
+	return t.s.run(sources, t.opt.traversalOptions(nil), t.scratch, &t.res)
 }
 
 // TemporalBFS runs BFS traversing only arcs with time labels in
 // [lo, hi] — the paper's augmented BFS with a time-stamp check.
 func (s *Snapshot) TemporalBFS(workers int, src VertexID, lo, hi uint32) *BFSResult {
-	return traversal.TemporalBFS(workers, s.g, src, traversal.TimeWindow(lo, hi))
+	if s.layoutPlain() {
+		return traversal.TemporalBFS(workers, s.g, src, traversal.TimeWindow(lo, hi))
+	}
+	res := s.run([]uint32{s.toLayout(src)},
+		traversal.Options{Workers: workers, Filter: traversal.TimeWindow(lo, hi)}, nil, nil)
+	return s.translateResultInto(res, nil)
 }
 
 // STConnected answers an st-connectivity query by traversal, returning
 // reachability and hop distance (-1 if unreachable).
 func (s *Snapshot) STConnected(workers int, u, v VertexID) (bool, int32) {
-	return traversal.STConnected(workers, s.g, u, v)
+	if s.cg == nil {
+		return traversal.STConnected(workers, s.g, s.toLayout(u), s.toLayout(v))
+	}
+	if u == v {
+		return true, 0
+	}
+	// Compressed: the same early-exiting traversal, streamed.
+	res := &traversal.Result{}
+	traversal.RunStream(s.cg, []uint32{u}, traversal.Options{
+		Workers: workers,
+		Hooks: traversal.Hooks{OnLevelEnd: func(int32, int) bool {
+			return res.Level[v] == traversal.NotVisited
+		}},
+	}, nil, res)
+	if res.Level[v] == traversal.NotVisited {
+		return false, -1
+	}
+	return true, res.Level[v]
 }
 
 // STConnectedFast answers an st-connectivity query with bidirectional
 // search: on low-diameter graphs it touches far fewer edges than a full
 // BFS. The snapshot must be symmetric (undirected Graph).
 func (s *Snapshot) STConnectedFast(u, v VertexID) (bool, int32) {
-	return traversal.STConnectedBidirectional(s.g, u, v)
+	return traversal.STConnectedBidirectional(s.csrView(), u, v)
 }
 
 // TemporalReachability computes the vertices reachable from src by
@@ -169,19 +335,51 @@ func (s *Snapshot) STConnectedFast(u, v VertexID) (bool, int32) {
 // returning the minimum arrival label per vertex (^uint32(0) when
 // unreachable) and the reached count.
 func (s *Snapshot) TemporalReachability(src VertexID) (arrive []uint32, reached int) {
-	return traversal.TemporalReachability(s.g, src)
+	return traversal.TemporalReachability(s.csrView(), src)
 }
 
 // TemporallyReachable reports whether a time-respecting path u -> v
 // exists.
 func (s *Snapshot) TemporallyReachable(u, v VertexID) bool {
-	return traversal.TemporallyReachable(s.g, u, v)
+	return traversal.TemporallyReachable(s.csrView(), u, v)
 }
 
 // Components labels weakly-connected components in parallel:
-// comp[u] == comp[v] iff u and v are connected.
+// comp[u] == comp[v] iff u and v are connected. Labels are canonical —
+// each component is labeled by its minimum original vertex id — in
+// every storage layout, so label arrays compare equal across layouts.
 func (s *Snapshot) Components(workers int) []uint32 {
-	return cc.Components(workers, s.g)
+	switch {
+	case s.cg != nil:
+		// Streaming labeler over compressed adjacency; labels are already
+		// component minimums in original id space.
+		comp, _ := traversal.StreamComponentsInto(s.cg, nil, nil)
+		return comp
+	case s.perm != nil:
+		// Label in layout space, then canonicalize each component to its
+		// minimum ORIGINAL id: ascending original-id scan records the
+		// first original vertex seen per layout-space label.
+		comp := cc.Components(workers, s.g)
+		n := len(comp)
+		out := make([]uint32, n)
+		const unset = ^uint32(0)
+		minOrig := make([]uint32, n)
+		for i := range minOrig {
+			minOrig[i] = unset
+		}
+		for v := 0; v < n; v++ {
+			l := comp[s.perm[v]]
+			if minOrig[l] == unset {
+				minOrig[l] = uint32(v)
+			}
+		}
+		for v := 0; v < n; v++ {
+			out[v] = minOrig[comp[s.perm[v]]]
+		}
+		return out
+	default:
+		return cc.Components(workers, s.g)
+	}
 }
 
 // ComponentCount returns the number of weakly-connected components.
@@ -203,7 +401,7 @@ func (s *Snapshot) LargestComponent(workers int) (rep VertexID, size int) {
 // undirected snapshots build the forest with the direction-optimizing
 // engine, directed ones fall back to top-down.
 func (s *Snapshot) Connectivity(workers int) *Connectivity {
-	return &Connectivity{f: lct.BuildStrategy(workers, s.g, s.kernelStrategy(BFSDirectionOpt))}
+	return &Connectivity{f: lct.BuildStrategy(workers, s.csrView(), s.kernelStrategy(BFSDirectionOpt))}
 }
 
 // kernelStrategy demotes a requested engine to top-down on directed
@@ -223,7 +421,7 @@ func (s *Snapshot) kernelStrategy(want BFSStrategy) BFSStrategy {
 // kernel).
 func (s *Snapshot) InducedByTime(workers int, lo, hi uint32) *Snapshot {
 	return &Snapshot{
-		g:          subgraph.InducedByEdges(workers, s.g, subgraph.TimeInterval(lo, hi)),
+		g:          subgraph.InducedByEdges(workers, s.csrView(), subgraph.TimeInterval(lo, hi)),
 		undirected: s.undirected,
 	}
 }
@@ -231,7 +429,7 @@ func (s *Snapshot) InducedByTime(workers int, lo, hi uint32) *Snapshot {
 // InducedByVertices extracts the subgraph induced by the kept vertices.
 func (s *Snapshot) InducedByVertices(workers int, keep []bool) *Snapshot {
 	return &Snapshot{
-		g:          subgraph.InducedByVertices(workers, s.g, keep),
+		g:          subgraph.InducedByVertices(workers, s.csrView(), keep),
 		undirected: s.undirected,
 	}
 }
@@ -239,7 +437,7 @@ func (s *Snapshot) InducedByVertices(workers int, keep []bool) *Snapshot {
 // ActiveVertices returns the vertices incident to at least one arc with
 // a time label in [lo, hi].
 func (s *Snapshot) ActiveVertices(workers int, lo, hi uint32) []bool {
-	return subgraph.VerticesInWindow(workers, s.g, lo, hi)
+	return subgraph.VerticesInWindow(workers, s.csrView(), lo, hi)
 }
 
 // BCOptions configures betweenness (and stress) computation.
@@ -261,7 +459,7 @@ type BCOptions struct {
 
 // Betweenness computes (temporal) betweenness centrality scores.
 func (s *Snapshot) Betweenness(workers int, opt BCOptions) []float64 {
-	return centrality.Betweenness(workers, s.g, centrality.Options{
+	return centrality.Betweenness(workers, s.csrView(), centrality.Options{
 		Temporal:  opt.Temporal,
 		Sources:   opt.Sources,
 		Normalize: opt.Sources != nil,
@@ -272,7 +470,7 @@ func (s *Snapshot) Betweenness(workers int, opt BCOptions) []float64 {
 // SampleSources draws k distinct random traversal roots, preferring
 // non-isolated vertices.
 func (s *Snapshot) SampleSources(k int, seed uint64) []VertexID {
-	return centrality.SampleSources(s.g, k, seed)
+	return centrality.SampleSources(s.csrView(), k, seed)
 }
 
 // Connectivity is a link-cut forest supporting constant-time structural
