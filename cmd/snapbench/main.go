@@ -38,7 +38,12 @@
 // "memory" sweeps the memory-scale snapshot formats (plain, degree-,
 // BFS- and RCM-reordered CSR, gap-compressed adjacency): bytes per
 // stored arc against BFS and SSSP traversal rate on each format, over
-// the -scales list (default just -scale). -json additionally writes
+// the -scales list (default just -scale). The figure "ingest" prices
+// durability: sustained ingest MUPS through the volatile gate vs the
+// group-commit write-ahead log (fsync before every ack) under the same
+// concurrent query load, the achieved updates-per-fsync amortization,
+// and a measured crash recovery (checkpoint load + log-tail replay) of
+// the directory the WAL phase leaves behind. -json additionally writes
 // every measured table to a file for the committed BENCH_*.json
 // artifacts.
 //
@@ -157,6 +162,9 @@ func main() {
 		"service": func() *timing.Table {
 			return bench.FigService(cfg, *qworkers, *qduration)
 		},
+		"ingest": func() *timing.Table {
+			return bench.FigIngest(cfg, *qworkers, *qduration)
+		},
 		"shard": func() *timing.Table {
 			sc, err := parseInts(*shards)
 			if err != nil {
@@ -173,7 +181,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, shard, memory, or all)", f)
+				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, shard, memory, ingest, or all)", f)
 			}
 			order = append(order, f)
 		}

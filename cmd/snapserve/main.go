@@ -14,6 +14,18 @@
 // across requests; past -qmax executing and -queue waiting queries,
 // requests are shed with 503 so latency stays bounded under overload.
 //
+// With -wal-dir the ingest path becomes durable: submissions coalesce
+// in a group-commit batcher, each flush is framed, CRC'd, and fsynced
+// to a write-ahead log before it is applied and acknowledged, and the
+// /ingest reply's epoch is the snapshot epoch guaranteed to contain
+// the batch — pass it back as minEpoch on any query for
+// read-your-writes (503 if the snapshot can't catch up in time).
+// Periodic checkpoints (-checkpoint-every) bound replay; on restart
+// the daemon recovers checkpoint + log tail, truncating a torn final
+// record, and continues with monotone epochs. SIGINT/SIGTERM drains
+// in-flight requests, flushes the batcher, writes a final checkpoint,
+// and closes the log.
+//
 // With -shards N (N > 1) the daemon serves a vertex-partitioned fleet
 // instead of one store: N tracked stores each behind their own
 // snapshot manager and auto-refresher, ingest batches routed to the
@@ -40,12 +52,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"snapdyn/internal/batcher"
+	"snapdyn/internal/durable"
 	"snapdyn/internal/dyngraph"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/graphio"
@@ -75,15 +93,41 @@ type config struct {
 	refreshDirty int
 	refreshAge   time.Duration
 	refreshPoll  time.Duration
+
+	// walDir enables the durable ingest path: group-commit WAL +
+	// checkpoints under this directory (per-shard subdirectories when
+	// sharded). Empty keeps the volatile direct-apply path.
+	walDir       string
+	ckptEvery    uint64
+	batchMax     int
+	batchDelay   time.Duration
+	batchPending int
+}
+
+func (c config) durableConfig() durable.Config {
+	return durable.Config{
+		Dir:             c.walDir,
+		CheckpointEvery: c.ckptEvery,
+		Batch: batcher.Config{
+			MaxBatch:   c.batchMax,
+			MaxDelay:   c.batchDelay,
+			MaxPending: c.batchPending,
+		},
+	}
 }
 
 // service is a fully assembled serving stack: tracked storage behind
 // auto-refreshing snapshot management (one store, or a fleet of
 // vertex-partitioned shards), the executor pool, and the HTTP handler.
 type service struct {
-	ex   qserve.Engine
-	srv  *qserve.Server
-	stop func()
+	ex  qserve.Engine
+	srv *qserve.Server
+	// stop shuts the stack down in dependency order: batcher flush and
+	// final checkpoint (durable path), auto-refresher(s), log close.
+	stop func() error
+	// recovery describes what the durable path restored, for the
+	// startup banner ("" when volatile or fresh).
+	recovery string
 }
 
 // buildService loads or generates the graph, builds the manager (or
@@ -127,14 +171,41 @@ func buildService(cfg config) (*service, error) {
 		Undirected:    cfg.undirected,
 	}
 
+	scfg := shard.Config{
+		Shards:        cfg.shards,
+		Workers:       cfg.workers,
+		ExpectedEdges: 4 * len(ups),
+	}
+
+	if cfg.shards > 1 && cfg.walDir != "" {
+		// Durable fleet: one WAL + checkpoint directory per shard,
+		// ingest scattered into per-shard group commits.
+		df, infos, err := shard.OpenDurable(n, scfg, ups, cfg.durableConfig())
+		if err != nil {
+			return nil, err
+		}
+		df.Start(policy)
+		ex := shard.NewExecutor(df.Fleet, qcfg)
+		ex.SetIngest(df.Ingest)
+		var rec string
+		for s, info := range infos {
+			if info.Recovered {
+				rec += fmt.Sprintf("shard %d: recovered LSN %d (ckpt %d, %d replayed) in %v; ",
+					s, info.LSN, info.CheckpointLSN, info.ReplayedUpdates, info.Elapsed.Round(time.Millisecond))
+			}
+		}
+		return &service{
+			ex:       ex,
+			srv:      qserve.NewServer(ex, cfg.undirected, cfg.workers),
+			stop:     df.Close, // flushes batchers, stops refreshers, final checkpoints
+			recovery: rec,
+		}, nil
+	}
+
 	if cfg.shards > 1 {
 		// Fleet path: one tracked store + manager + auto-refresher per
 		// shard, ingest routed by vertex owner, queries scatter-gather.
-		fleet := shard.New(n, shard.Config{
-			Shards:        cfg.shards,
-			Workers:       cfg.workers,
-			ExpectedEdges: 4 * len(ups),
-		})
+		fleet := shard.New(n, scfg)
 		fleet.Ingest(cfg.workers, ups)
 		fleet.Refresh(cfg.workers)
 		fleet.Start(policy)
@@ -142,7 +213,34 @@ func buildService(cfg config) (*service, error) {
 		return &service{
 			ex:   ex,
 			srv:  qserve.NewServer(ex, cfg.undirected, cfg.workers),
-			stop: fleet.Stop,
+			stop: func() error { fleet.Stop(); return nil },
+		}, nil
+	}
+
+	if cfg.walDir != "" {
+		// Durable single store: bootstrap seeds a fresh directory (and
+		// is checkpointed); a recovered directory wins over bootstrap.
+		newStore := func(n int) dyngraph.Store {
+			return dyngraph.NewHybrid(n, 4*len(edges), 0, cfg.seed)
+		}
+		d, info, err := durable.Open(n, cfg.workers, newStore, ups, cfg.durableConfig())
+		if err != nil {
+			return nil, err
+		}
+		d.Manager().Start(policy)
+		ex := qserve.New(d.Manager(), qcfg)
+		ex.SetIngest(d.Ingest)
+		var rec string
+		if info.Recovered {
+			rec = fmt.Sprintf("recovered LSN %d (ckpt %d, %d replayed, torn=%v) in %v",
+				info.LSN, info.CheckpointLSN, info.ReplayedUpdates, info.Torn,
+				info.Elapsed.Round(time.Millisecond))
+		}
+		return &service{
+			ex:       ex,
+			srv:      qserve.NewServer(ex, cfg.undirected, cfg.workers),
+			stop:     d.Close, // flushes batcher, stops refresher, final checkpoint
+			recovery: rec,
 		}, nil
 	}
 
@@ -154,12 +252,13 @@ func buildService(cfg config) (*service, error) {
 	return &service{
 		ex:   ex,
 		srv:  qserve.NewServer(ex, cfg.undirected, cfg.workers),
-		stop: mgr.Stop,
+		stop: func() error { mgr.Stop(); return nil },
 	}, nil
 }
 
-// close stops the background refresher(s).
-func (s *service) close() { s.stop() }
+// close drains the stack: on the durable path this resolves every
+// outstanding ack, writes a final checkpoint, and closes the log(s).
+func (s *service) close() error { return s.stop() }
 
 func main() {
 	var (
@@ -178,6 +277,11 @@ func main() {
 		refDirty   = flag.Int("refresh-dirty", 4096, "auto-refresh when this many vertices are dirty")
 		refAge     = flag.Duration("refresh-age", 500*time.Millisecond, "auto-refresh when the snapshot is this stale with updates pending")
 		refPoll    = flag.Duration("refresh-poll", 0, "auto-refresh trigger poll interval (0 = derived)")
+		walDir     = flag.String("wal-dir", "", "durable ingest: WAL + checkpoint directory (per-shard subdirs when sharded); empty = volatile")
+		ckptEvery  = flag.Uint64("checkpoint-every", 1<<20, "checkpoint after this many committed updates per log (0 = only on clean shutdown)")
+		batchMax   = flag.Int("batch-max", 0, "group-commit flush size (0 = default)")
+		batchDelay = flag.Duration("batch-delay", 0, "group-commit max batch age before flush (0 = default)")
+		batchPend  = flag.Int("batch-pending", 0, "max pending updates before ingest backpressure (0 = default)")
 	)
 	flag.Parse()
 
@@ -196,18 +300,68 @@ func main() {
 		refreshDirty: *refDirty,
 		refreshAge:   *refAge,
 		refreshPoll:  *refPoll,
+		walDir:       *walDir,
+		ckptEvery:    *ckptEvery,
+		batchMax:     *batchMax,
+		batchDelay:   *batchDelay,
+		batchPending: *batchPend,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "snapserve: %v\n", err)
 		os.Exit(2)
 	}
-	defer svc.close()
 
+	if svc.recovery != "" {
+		fmt.Printf("snapserve: %s\n", svc.recovery)
+	}
 	st := svc.ex.Stats()
 	fmt.Printf("snapserve: serving %d vertices, %d arcs on %s (epoch %d)\n",
 		st.Vertices, st.Arcs, *addr, st.Epoch)
-	if err := http.ListenAndServe(*addr, svc.srv.Handler()); err != nil {
-		fmt.Fprintf(os.Stderr, "snapserve: %v\n", err)
-		os.Exit(1)
+
+	os.Exit(run(svc, *addr))
+}
+
+// run serves until SIGINT/SIGTERM, then shuts down in order: stop
+// accepting connections and drain in-flight requests, then close the
+// service (flush the group-commit batcher, resolve outstanding acks,
+// final checkpoint, close the WAL). A second signal aborts the drain.
+func run(svc *service, addr string) int {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// Listener died on its own; still drain the durable stack so
+		// acked updates get their final checkpoint.
+		svc.close()
+		fmt.Fprintf(os.Stderr, "snapserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "snapserve: shutting down")
+	cancel() // restore default signal behavior: a second signal kills us
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer shutCancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "snapserve: drain: %v\n", err)
+	}
+	if err := svc.close(); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "snapserve: close: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "snapserve: clean shutdown")
+	return 0
 }

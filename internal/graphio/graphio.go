@@ -8,6 +8,7 @@ package graphio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -18,6 +19,21 @@ import (
 
 // Magic identifies the binary format, versioned.
 const Magic = "SNAPDYNB"
+
+// Typed read errors: loaders and recovery code branch on these (a
+// truncated snapshot is recoverable by falling back, a corrupt one is
+// not) and callers can surface precise diagnostics. All binary-format
+// failures wrap one of them.
+var (
+	// ErrBadMagic means the input is not the binary format at all.
+	ErrBadMagic = errors.New("graphio: bad magic")
+	// ErrTruncated means the input ended before the promised data: a
+	// partial write or cut-off transfer.
+	ErrTruncated = errors.New("graphio: truncated input")
+	// ErrCorrupt means the input is structurally impossible (e.g. an
+	// edge count no real file could hold).
+	ErrCorrupt = errors.New("graphio: corrupt input")
+)
 
 // WriteText writes "u v t" lines with a size-comment header.
 func WriteText(w io.Writer, edges []edge.Edge) error {
@@ -110,38 +126,44 @@ func WriteBinary(w io.Writer, edges []edge.Edge) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the compact format.
+// ReadBinary parses the compact format. The count prefix is treated as
+// untrusted: allocation grows with the bytes actually read, so a bogus
+// count on a short or hostile input fails with ErrTruncated after a
+// bounded allocation instead of attempting a count-sized one.
 func ReadBinary(r io.Reader) ([]edge.Edge, int, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, 0, fmt.Errorf("graphio: reading magic: %w", err)
+		return nil, 0, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
 	}
 	if string(magic) != Magic {
-		return nil, 0, fmt.Errorf("graphio: bad magic %q", magic)
+		return nil, 0, fmt.Errorf("%w: %q", ErrBadMagic, magic)
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, 0, fmt.Errorf("graphio: reading count: %w", err)
+		return nil, 0, fmt.Errorf("%w: reading count: %v", ErrTruncated, err)
 	}
 	count := binary.LittleEndian.Uint64(hdr[:])
 	const maxReasonable = 1 << 36
 	if count > maxReasonable {
-		return nil, 0, fmt.Errorf("graphio: implausible edge count %d", count)
+		return nil, 0, fmt.Errorf("%w: implausible edge count %d", ErrCorrupt, count)
 	}
-	edges := make([]edge.Edge, count)
+	// Initial capacity is capped: a lying count prefix can only cost
+	// one chunk before the first short read surfaces.
+	const chunk = 1 << 18
+	edges := make([]edge.Edge, 0, min(count, chunk))
 	var buf [12]byte
 	var maxID uint32
-	for i := range edges {
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, 0, fmt.Errorf("graphio: edge %d: %w", i, err)
+			return nil, 0, fmt.Errorf("%w: edge %d of %d: %v", ErrTruncated, i, count, err)
 		}
 		e := edge.Edge{
 			U: binary.LittleEndian.Uint32(buf[0:]),
 			V: binary.LittleEndian.Uint32(buf[4:]),
 			T: binary.LittleEndian.Uint32(buf[8:]),
 		}
-		edges[i] = e
+		edges = append(edges, e)
 		if e.U > maxID {
 			maxID = e.U
 		}

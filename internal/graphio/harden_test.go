@@ -1,0 +1,144 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"snapdyn/internal/edge"
+)
+
+// validBinary builds a well-formed binary file with k small edges.
+func validBinary(t testing.TB, k int) []byte {
+	t.Helper()
+	edges := make([]edge.Edge, k)
+	for i := range edges {
+		edges[i] = edge.Edge{U: uint32(i), V: uint32(i + 1), T: uint32(i % 7)}
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadBinaryTypedErrors pins each failure class to its typed
+// error, so recovery code can branch on errors.Is.
+func TestReadBinaryTypedErrors(t *testing.T) {
+	full := validBinary(t, 8)
+
+	// Every proper prefix is ErrTruncated or ErrBadMagic — never a
+	// success, never an untyped error, never a panic.
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadBinary(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(full))
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("prefix %d: untyped error %v", cut, err)
+		}
+	}
+
+	// Wrong magic.
+	bad := append([]byte("WRONGMAG"), full[8:]...)
+	if _, _, err := ReadBinary(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("wrong magic: %v, want ErrBadMagic", err)
+	}
+
+	// Implausible count is ErrCorrupt, rejected before any allocation.
+	evil := append([]byte(Magic), make([]byte, 8)...)
+	binary.LittleEndian.PutUint64(evil[8:], 1<<40)
+	if _, _, err := ReadBinary(bytes.NewReader(evil)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("implausible count: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadBinaryLyingCount feeds a plausible-but-false count over a
+// tiny payload: the reader must fail with ErrTruncated without trying
+// to allocate count edges up front (12 GiB here — an OOM if it did).
+func TestReadBinaryLyingCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], 1<<30) // claims a billion edges
+	buf.Write(hdr[:])
+	buf.Write(make([]byte, 36)) // delivers three
+	_, _, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("lying count: %v, want ErrTruncated", err)
+	}
+}
+
+// TestDetectHostileInputs runs the sniffing loader over adversarial
+// heads; it may error, but must not panic and must reject cleanly.
+func TestDetectHostileInputs(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(Magic),                          // magic, nothing else
+		[]byte(Magic[:5]),                      // partial magic: text fallback
+		append([]byte(Magic), 0xff),            // partial count
+		validBinary(t, 3)[:22],                 // mid-edge cut
+		bytes.Repeat([]byte{0}, 64),            // binary garbage to the text parser
+		[]byte("9999999999999999999999 2 3\n"), // overflowing text ids
+	}
+	for i, c := range cases {
+		edges, n, err := Detect(bytes.NewReader(c))
+		if err == nil && len(edges) > 0 && n == 0 {
+			t.Fatalf("case %d: %d edges with n=0", i, len(edges))
+		}
+	}
+}
+
+// FuzzReadBinary asserts ReadBinary never panics and that anything it
+// accepts round-trips byte-identically through WriteBinary.
+func FuzzReadBinary(f *testing.F) {
+	f.Add(validBinary(f, 0))
+	f.Add(validBinary(f, 5))
+	f.Add(validBinary(f, 5)[:20])
+	f.Add([]byte("0 1 2\n"))
+	evil := append([]byte(Magic), make([]byte, 8)...)
+	binary.LittleEndian.PutUint64(evil[8:], 1<<35)
+	f.Add(evil)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, n, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		for _, e := range edges {
+			if int(e.U) >= n || int(e.V) >= n {
+				t.Fatalf("edge %v outside n=%d", e, n)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, edges); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil || len(got) != len(edges) {
+			t.Fatalf("re-read: %d edges, %v", len(got), err)
+		}
+	})
+}
+
+// FuzzDetect asserts the sniffing path never panics on arbitrary
+// bytes and keeps its n >= ids invariant when it succeeds.
+func FuzzDetect(f *testing.F) {
+	f.Add([]byte("1 2 3\n# c\n4 5\n"))
+	f.Add(validBinary(f, 4))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, n, err := Detect(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, e := range edges {
+			if int(e.U) >= n || int(e.V) >= n {
+				t.Fatalf("edge %v outside n=%d", e, n)
+			}
+		}
+	})
+}

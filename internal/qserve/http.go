@@ -26,13 +26,23 @@ type Server struct {
 	// undirected Graph semantics.
 	undirected    bool
 	ingestWorkers int
+	staleWait     time.Duration
 }
+
+// DefaultStaleWait bounds how long a query with a minEpoch constraint
+// waits for the snapshot to catch up before failing with 503.
+const DefaultStaleWait = 2 * time.Second
 
 // NewServer wraps a query engine. ingestWorkers is the parallelism of
 // batch application; undirected mirrors every ingested update.
 func NewServer(eng Engine, undirected bool, ingestWorkers int) *Server {
-	return &Server{eng: eng, undirected: undirected, ingestWorkers: ingestWorkers}
+	return &Server{eng: eng, undirected: undirected, ingestWorkers: ingestWorkers,
+		staleWait: DefaultStaleWait}
 }
+
+// SetStaleWait overrides the minEpoch wait bound (tests use short
+// values). Call before serving.
+func (s *Server) SetStaleWait(d time.Duration) { s.staleWait = d }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -76,9 +86,33 @@ type Health struct {
 	Counters      Counters `json:"counters"`
 }
 
+// waitMinEpoch honors an optional minEpoch query parameter: the
+// read-your-writes handshake. A client holding the ack epoch from
+// /ingest passes it back as minEpoch and is guaranteed to observe its
+// writes — or get a retryable 503 (ErrStale) if the snapshot does not
+// publish within the staleness bound.
+func (s *Server) waitMinEpoch(r *http.Request) error {
+	v := r.URL.Query().Get("minEpoch")
+	if v == "" {
+		return nil
+	}
+	min, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return badParam("minEpoch", err)
+	}
+	if _, err := s.eng.WaitEpoch(min, s.staleWait); err != nil {
+		return fmt.Errorf("%w: epoch %d not published within %v", ErrStale, min, s.staleWait)
+	}
+	return nil
+}
+
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	src, err := queryUint32(r, "src")
 	if err != nil {
+		httpError(w, err)
+		return
+	}
+	if err := s.waitMinEpoch(r); err != nil {
 		httpError(w, err)
 		return
 	}
@@ -104,6 +138,10 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := s.waitMinEpoch(r); err != nil {
+		httpError(w, err)
+		return
+	}
 	reply, err := s.eng.SSSP(src, delta)
 	if err != nil {
 		httpError(w, err)
@@ -123,6 +161,10 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	if err := s.waitMinEpoch(r); err != nil {
+		httpError(w, err)
+		return
+	}
 	reply, err := s.eng.Connected(u, v)
 	if err != nil {
 		httpError(w, err)
@@ -132,6 +174,10 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	if err := s.waitMinEpoch(r); err != nil {
+		httpError(w, err)
+		return
+	}
 	reply, err := s.eng.Components()
 	if err != nil {
 		httpError(w, err)
@@ -190,9 +236,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.undirected {
 		batch = stream.Mirror(batch)
 	}
-	s.eng.Ingest(s.ingestWorkers, batch)
-	met := s.eng.Metrics()
-	writeJSON(w, IngestReply{Applied: len(wire), Epoch: met.Epoch, Staleness: met.Staleness})
+	epoch, err := s.eng.Ingest(s.ingestWorkers, batch)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	// Epoch is the ack epoch: pass it back as minEpoch on a query to
+	// read your writes. On the durable path the updates are fsynced by
+	// the time this reply is written.
+	writeJSON(w, IngestReply{Applied: len(wire), Epoch: epoch, Staleness: s.eng.Metrics().Staleness})
 }
 
 // errBadRequest wraps parameter errors so httpError maps them to 400.
@@ -218,7 +270,7 @@ func httpError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
 	var bad errBadRequest
 	switch {
-	case errors.Is(err, ErrOverloaded):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrStale):
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadVertex):
 		code = http.StatusBadRequest

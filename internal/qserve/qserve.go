@@ -21,6 +21,7 @@ package qserve
 
 import (
 	"errors"
+	"time"
 
 	"snapdyn/internal/cc"
 	"snapdyn/internal/dyngraph"
@@ -38,6 +39,11 @@ var ErrOverloaded = errors.New("qserve: overloaded, query shed")
 // ErrBadVertex is returned when a query names a vertex outside the
 // snapshot's vertex set.
 var ErrBadVertex = errors.New("qserve: vertex out of range")
+
+// ErrStale is returned when a query demands a minimum snapshot epoch
+// (read-your-writes against an ingest ack) that did not publish within
+// the staleness wait — the serving layer's 503, retryable.
+var ErrStale = errors.New("qserve: snapshot older than requested minEpoch")
 
 // Config sizes the executor pool.
 type Config struct {
@@ -138,8 +144,17 @@ type Engine interface {
 	Counters() Counters
 	// NumVertices is the fixed vertex-set size, for ingest validation.
 	NumVertices() int
-	// Ingest applies a batch through the engine's refresh gate(s).
-	Ingest(workers int, batch []edge.Update)
+	// Ingest applies a batch through the engine's refresh gate(s) —
+	// or, when a durable ingest path is installed, through the
+	// group-commit WAL — returning the ack epoch: the snapshot epoch
+	// guaranteed to contain the batch. On the durable path the call
+	// returns only after the batch is fsynced and applied; an error
+	// means nothing was acknowledged.
+	Ingest(workers int, batch []edge.Update) (uint64, error)
+	// WaitEpoch blocks until the published epoch reaches min (timeout
+	// <= 0 waits forever), returning the epoch observed — the
+	// read-your-writes wait paired with the ack epoch from Ingest.
+	WaitEpoch(min uint64, timeout time.Duration) (uint64, error)
 	// Metrics aggregates refresh activity and current lag.
 	Metrics() snapmgr.Metrics
 }
@@ -151,6 +166,10 @@ type Executor struct {
 	cfg  Config
 	adm  *Admission
 	free chan *scratchSet
+
+	// ingest, when set (SetIngest), replaces the direct gated apply
+	// with a durable commit path.
+	ingest func(batch []edge.Update) (uint64, error)
 }
 
 var _ Engine = (*Executor)(nil)
@@ -172,10 +191,26 @@ func (e *Executor) Manager() *snapmgr.Manager { return e.mgr }
 // NumVertices returns the managed store's fixed vertex-set size.
 func (e *Executor) NumVertices() int { return e.mgr.Store().NumVertices() }
 
-// Ingest applies a batch through the manager's refresh gate, safe
+// Ingest applies a batch and returns the ack epoch: by default through
+// the manager's refresh gate (volatile, synchronous), or through the
+// durable group-commit path when one is installed with SetIngest. Safe
 // concurrently with queries and the auto-refresher.
-func (e *Executor) Ingest(workers int, batch []edge.Update) {
-	e.mgr.Ingest(func(t *dyngraph.Tracked) { t.ApplyBatch(workers, batch) })
+func (e *Executor) Ingest(workers int, batch []edge.Update) (uint64, error) {
+	if e.ingest != nil {
+		return e.ingest(batch)
+	}
+	return e.mgr.IngestEpoch(func(t *dyngraph.Tracked) { t.ApplyBatch(workers, batch) }), nil
+}
+
+// SetIngest installs a replacement ingest path (the durable
+// group-commit front, internal/durable). Call before serving; not
+// synchronized with in-flight Ingest calls.
+func (e *Executor) SetIngest(fn func(batch []edge.Update) (uint64, error)) { e.ingest = fn }
+
+// WaitEpoch blocks until the manager publishes epoch min, for
+// read-your-writes against an ingest ack.
+func (e *Executor) WaitEpoch(min uint64, timeout time.Duration) (uint64, error) {
+	return e.mgr.WaitEpoch(min, timeout)
 }
 
 // Metrics returns the manager's refresh metrics.

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"snapdyn/internal/batcher"
+	"snapdyn/internal/durable"
+	"snapdyn/internal/dyngraph"
+	"snapdyn/internal/edge"
+	"snapdyn/internal/snapmgr"
+)
+
+// DurableFleet is a Fleet whose shards each own a durable store: one
+// write-ahead log and checkpoint directory per shard (shard-NNN under
+// the configured root), one group-commit batcher per shard. The query
+// surface is the embedded Fleet, unchanged; ingest goes through Ingest
+// (scatter, per-shard group commit, ack join) so that an acknowledged
+// batch is fsynced on every shard that owns part of it.
+//
+// Crash independence: shards recover independently, each to a prefix of
+// its own sub-stream that includes everything it acknowledged. A crash
+// between shard acks of one scattered batch can leave the batch
+// partially durable — exactly the in-flight window a single store has,
+// widened to per-shard granularity. Ingest returns only after every
+// shard acked, so a *returned* call is durable everywhere.
+type DurableFleet struct {
+	*Fleet
+	stores []*durable.Store
+}
+
+// OpenDurable recovers (or initializes) one durable store per shard
+// under dc.Dir/shard-NNN and assembles the fleet over the recovered
+// managers. bootstrap seeds fresh directories (scattered by owner);
+// recovered shards ignore it — each shard's durable state wins. The
+// per-shard Info slice is returned for logs and benchmarks.
+//
+// dc.Batch/dc.CheckpointEvery/dc.WAL apply to every shard alike; the
+// checkpoint cadence is per shard, counted in that shard's updates.
+func OpenDurable(n int, cfg Config, bootstrap []edge.Update, dc durable.Config) (*DurableFleet, []*durable.Info, error) {
+	p := cfg.Shards
+	if p <= 0 {
+		p = 1
+	}
+	expected := cfg.ExpectedEdges
+	if expected <= 0 {
+		expected = 8 * n
+	}
+	perShard := expected/p + 1
+
+	// Scatter the bootstrap by the owner rule before any store exists.
+	subs := make([][]edge.Update, p)
+	for i := range bootstrap {
+		s := int(bootstrap[i].U % uint32(p))
+		subs[s] = append(subs[s], bootstrap[i])
+	}
+
+	f := &DurableFleet{
+		Fleet:  &Fleet{n: n, p: p, mgrs: make([]*snapmgr.Manager, p)},
+		stores: make([]*durable.Store, p),
+	}
+	infos := make([]*durable.Info, p)
+	for s := 0; s < p; s++ {
+		sc := dc
+		sc.Dir = filepath.Join(dc.Dir, fmt.Sprintf("shard-%03d", s))
+		shardID := s
+		newStore := func(n int) dyngraph.Store {
+			if cfg.NewStore != nil {
+				return cfg.NewStore(shardID, n, perShard)
+			}
+			return dyngraph.NewHybrid(n, perShard, 0, uint64(shardID)+1)
+		}
+		ds, info, err := durable.Open(n, cfg.Workers, newStore, subs[s], sc)
+		if err != nil {
+			for i := 0; i < s; i++ {
+				f.stores[i].Close()
+			}
+			return nil, nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		f.stores[s] = ds
+		f.mgrs[s] = ds.Manager()
+		infos[s] = info
+	}
+	return f, infos, nil
+}
+
+// Store returns shard s's durable store, for per-shard metrics and
+// direct Submit access.
+func (f *DurableFleet) Store(s int) *durable.Store { return f.stores[s] }
+
+// Ingest scatters the batch by owner, submits each sub-batch to its
+// shard's group-commit batcher, and joins the acks: it returns only
+// after every touched shard has fsynced and applied its part. The
+// returned fleet ack epoch is the sum of the per-shard ack epochs plus
+// the current epochs of untouched shards — wait for it with
+// Fleet.WaitEpoch for (coarse) read-your-writes. The first per-shard
+// error is returned; other shards may still have committed their parts.
+func (f *DurableFleet) Ingest(batch []edge.Update) (uint64, error) {
+	subs := f.Scatter(batch, nil)
+	acks := make([]*batcher.Ack, f.p)
+	for s := 0; s < f.p; s++ {
+		if len(subs[s]) == 0 {
+			continue
+		}
+		a, err := f.stores[s].Submit(subs[s])
+		if err != nil {
+			// Join what was already submitted before reporting.
+			for i := 0; i < s; i++ {
+				if acks[i] != nil {
+					<-acks[i].Done()
+				}
+			}
+			return 0, fmt.Errorf("shard %d: %w", s, err)
+		}
+		acks[s] = a
+	}
+	var sum uint64
+	var firstErr error
+	for s := 0; s < f.p; s++ {
+		if acks[s] == nil {
+			sum += f.mgrs[s].Epoch()
+			continue
+		}
+		<-acks[s].Done()
+		if err := acks[s].Err(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", s, err)
+		}
+		sum += acks[s].Epoch()
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return sum, nil
+}
+
+// Close stops every shard's batcher and auto-refresher, writes final
+// checkpoints, and closes the logs. The first error is returned; every
+// shard is closed regardless.
+func (f *DurableFleet) Close() error {
+	var firstErr error
+	for _, ds := range f.stores {
+		if err := ds.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -26,6 +26,8 @@
 package shard
 
 import (
+	"time"
+
 	"snapdyn/internal/csr"
 	"snapdyn/internal/dyngraph"
 	"snapdyn/internal/edge"
@@ -134,6 +136,64 @@ func (f *Fleet) Ingest(workers int, batch []edge.Update) {
 		}
 		f.mgrs[s].Ingest(func(t *dyngraph.Tracked) { t.ApplyBatch(perShard, subs[s]) })
 	})
+}
+
+// IngestEpoch is Ingest returning the fleet ack epoch: the sum-epoch
+// value at which every sub-batch is guaranteed visible. Each touched
+// shard contributes its own ack epoch (snapmgr.IngestEpoch), untouched
+// shards their current epoch; because per-shard epochs are monotone the
+// sum reaching the returned value implies... only that total progress
+// happened — the sum-epoch wait (WaitEpoch) is deliberately coarse.
+// Precise per-shard read-your-writes needs the per-shard ack epochs,
+// which single-vertex queries get for free (one owner per vertex).
+func (f *Fleet) IngestEpoch(workers int, batch []edge.Update) uint64 {
+	if f.p == 1 {
+		return f.mgrs[0].IngestEpoch(func(s *dyngraph.Tracked) { s.ApplyBatch(workers, batch) })
+	}
+	subs := f.Scatter(batch, nil)
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	perShard := max(1, workers/f.p)
+	epochs := make([]uint64, f.p)
+	par.Workers(f.p, func(s int) {
+		if len(subs[s]) == 0 {
+			epochs[s] = f.mgrs[s].Epoch()
+			return
+		}
+		epochs[s] = f.mgrs[s].IngestEpoch(func(t *dyngraph.Tracked) { t.ApplyBatch(perShard, subs[s]) })
+	})
+	var sum uint64
+	for _, e := range epochs {
+		sum += e
+	}
+	return sum
+}
+
+// WaitEpoch blocks until the fleet sum-epoch reaches min, polling the
+// shards with a short backoff (the per-shard publication channels can't
+// be multiplexed without a global epoch, which the design deliberately
+// avoids). timeout <= 0 waits forever. Returns the sum observed and
+// snapmgr.ErrEpochWaitTimeout on expiry.
+func (f *Fleet) WaitEpoch(min uint64, timeout time.Duration) (uint64, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	sleep := 100 * time.Microsecond
+	for {
+		e := f.Epoch()
+		if e >= min {
+			return e, nil
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return e, snapmgr.ErrEpochWaitTimeout
+		}
+		time.Sleep(sleep)
+		if sleep < 5*time.Millisecond {
+			sleep *= 2
+		}
+	}
 }
 
 // Scatter partitions a batch by owning shard into dst (reused when its

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"time"
+
 	"snapdyn/internal/cc"
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
@@ -20,6 +22,10 @@ type Executor struct {
 	cfg   qserve.Config
 	adm   *qserve.Admission
 	free  chan *scratchSet
+
+	// ingest, when set (SetIngest), replaces the direct scatter apply
+	// with a durable commit path (DurableFleet.Ingest).
+	ingest func(batch []edge.Update) (uint64, error)
 }
 
 var _ qserve.Engine = (*Executor)(nil)
@@ -51,8 +57,26 @@ func (e *Executor) Fleet() *Fleet { return e.fleet }
 // NumVertices returns the fleet's fixed vertex-set size.
 func (e *Executor) NumVertices() int { return e.fleet.NumVertices() }
 
-// Ingest routes a batch through the fleet's per-shard gates.
-func (e *Executor) Ingest(workers int, batch []edge.Update) { e.fleet.Ingest(workers, batch) }
+// Ingest routes a batch through the fleet's per-shard gates (or the
+// durable path when one is installed), returning the fleet sum-epoch
+// ack.
+func (e *Executor) Ingest(workers int, batch []edge.Update) (uint64, error) {
+	if e.ingest != nil {
+		return e.ingest(batch)
+	}
+	return e.fleet.IngestEpoch(workers, batch), nil
+}
+
+// SetIngest installs a replacement ingest path (per-shard WAL group
+// commit, DurableFleet). Call before serving; not synchronized with
+// in-flight Ingest calls.
+func (e *Executor) SetIngest(fn func(batch []edge.Update) (uint64, error)) { e.ingest = fn }
+
+// WaitEpoch blocks until the fleet sum-epoch reaches min — the coarse
+// fleet-level read-your-writes wait (see Fleet.WaitEpoch).
+func (e *Executor) WaitEpoch(min uint64, timeout time.Duration) (uint64, error) {
+	return e.fleet.WaitEpoch(min, timeout)
+}
 
 // Metrics returns the fleet-aggregated refresh metrics.
 func (e *Executor) Metrics() snapmgr.Metrics { return e.fleet.Metrics() }

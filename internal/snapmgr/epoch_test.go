@@ -1,0 +1,125 @@
+package snapmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"snapdyn/internal/dyngraph"
+)
+
+func newMgr(t *testing.T) *Manager {
+	t.Helper()
+	return New(2, newStore(64))
+}
+
+func TestIngestEpochContainsBatch(t *testing.T) {
+	m := newMgr(t)
+	e := m.IngestEpoch(func(s *dyngraph.Tracked) {
+		s.Insert(1, 2, 10)
+	})
+	if e != m.Epoch()+1 {
+		t.Fatalf("ack epoch %d, want %d", e, m.Epoch()+1)
+	}
+	m.Refresh(2)
+	if m.Epoch() != e {
+		t.Fatalf("published epoch %d, want ack epoch %d", m.Epoch(), e)
+	}
+	// The snapshot at the ack epoch must contain the arc.
+	adj, ts := m.Current().Neighbors(1)
+	found := false
+	for i, v := range adj {
+		if v == 2 && ts[i] == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("acked arc missing from the ack-epoch snapshot")
+	}
+}
+
+func TestIngestEpochNoopReturnsCurrent(t *testing.T) {
+	m := newMgr(t)
+	cur := m.Epoch()
+	e := m.IngestEpoch(func(s *dyngraph.Tracked) {
+		s.Delete(3, 4) // miss: nothing dirty
+	})
+	if e != cur {
+		t.Fatalf("no-op ack epoch %d, want current %d — waiters would hang", e, cur)
+	}
+}
+
+func TestWaitEpochAlreadySatisfied(t *testing.T) {
+	m := newMgr(t)
+	e, err := m.WaitEpoch(m.Epoch(), 0)
+	if err != nil || e < 1 {
+		t.Fatalf("WaitEpoch on current: %d, %v", e, err)
+	}
+}
+
+func TestWaitEpochWakesOnRefresh(t *testing.T) {
+	m := newMgr(t)
+	target := m.Epoch() + 1
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.WaitEpoch(target, 5*time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.IngestEpoch(func(s *dyngraph.Tracked) { s.Insert(1, 2, 0) })
+	m.Refresh(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitEpoch never woke")
+	}
+}
+
+func TestWaitEpochTimeout(t *testing.T) {
+	m := newMgr(t)
+	start := time.Now()
+	e, err := m.WaitEpoch(m.Epoch()+100, 20*time.Millisecond)
+	if !errors.Is(err, ErrEpochWaitTimeout) {
+		t.Fatalf("err %v, want ErrEpochWaitTimeout", err)
+	}
+	if e != m.Epoch() {
+		t.Fatalf("timeout returned epoch %d, want latest %d", e, m.Epoch())
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("timeout took %v", time.Since(start))
+	}
+}
+
+func TestSetEpochBase(t *testing.T) {
+	m := newMgr(t)
+	m.SetEpochBase(50)
+	if m.Epoch() != 50 {
+		t.Fatalf("epoch %d, want 50", m.Epoch())
+	}
+	m.SetEpochBase(10) // lower: ignored
+	if m.Epoch() != 50 {
+		t.Fatalf("epoch lowered to %d", m.Epoch())
+	}
+	// Waiters below the new base wake on re-base.
+	done := make(chan struct{})
+	go func() {
+		m.WaitEpoch(60, 5*time.Second)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.SetEpochBase(60)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitEpoch did not wake on SetEpochBase")
+	}
+	// Refresh keeps counting from the base.
+	m.IngestEpoch(func(s *dyngraph.Tracked) { s.Insert(1, 2, 0) })
+	m.Refresh(2)
+	if m.Epoch() != 61 {
+		t.Fatalf("epoch after refresh %d, want 61", m.Epoch())
+	}
+}

@@ -48,6 +48,11 @@ type Manager struct {
 
 	lastPub atomic.Int64 // UnixNano of the last publication
 
+	// pubCh holds the channel the next publication closes — the
+	// broadcast primitive behind WaitEpoch. Lazily created; swapped
+	// and closed by broadcast().
+	pubCh atomic.Pointer[chan struct{}]
+
 	metMu sync.Mutex
 	met   Metrics // counters only; lag fields filled by Metrics()
 
@@ -102,6 +107,7 @@ func (m *Manager) Refresh(workers int) *csr.Graph {
 	g := v.G
 	m.epoch.Add(1)
 	m.lastPub.Store(time.Now().UnixNano())
+	m.broadcast()
 
 	// Record metrics before releasing the gate: refreshes serialize on
 	// it, so Last* always describes the most recently published epoch

@@ -1,0 +1,228 @@
+package wal
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrCrashed is returned by every operation on a FaultDir after Crash:
+// the simulated machine is off.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrInjectedWrite and ErrInjectedSync are the scheduled fault errors.
+var (
+	ErrInjectedWrite = errors.New("wal: injected write error (disk full)")
+	ErrInjectedSync  = errors.New("wal: injected fsync error")
+)
+
+// FaultDir is the fault-injection filesystem model backing a log
+// directory: files created through OpenFile are real files wrapped so
+// that writes can fail (disk full), be short, or be delayed, fsync can
+// fail, and — the headline — Crash simulates a kill -9 / power cut by
+// truncating every file to a random point between its last synced
+// offset and its written offset, exactly the guarantee (and only the
+// guarantee) fsync gives: synced bytes survive, unsynced bytes may
+// partially survive in any prefix.
+//
+// Wire it into a log with Options{OpenFile: d.OpenFile}. After Crash,
+// recover by reopening the directory with plain os I/O (wal.Create
+// reads through the real filesystem).
+type FaultDir struct {
+	mu    sync.Mutex
+	files []*FaultFile
+	rng   *rand.Rand
+
+	crashed bool
+
+	// Injection knobs; all zero means transparent pass-through. Set
+	// them between operations (they are read under the dir lock).
+
+	// WriteBudget, when >= 0, is the bytes writable before the disk is
+	// full: a write crossing it persists the prefix that fits and
+	// returns ErrInjectedWrite; later writes fail outright.
+	WriteBudget int64
+	// ShortEvery makes every Nth write a short write (half the bytes,
+	// io.ErrShortWrite). 0 disables.
+	ShortEvery int
+	// FailSyncs makes every Sync return ErrInjectedSync without
+	// syncing.
+	FailSyncs bool
+	// WriteDelay sleeps before every write, modelling slow media.
+	WriteDelay time.Duration
+
+	writes  int
+	written int64
+}
+
+// NewFaultDir models faults over real files under any directory; seed
+// drives the crash truncation choices.
+func NewFaultDir(seed int64) *FaultDir {
+	return &FaultDir{rng: rand.New(rand.NewSource(seed)), WriteBudget: -1}
+}
+
+// OpenFile is the Options.OpenFile hook: create a real file wrapped in
+// fault tracking.
+func (d *FaultDir) OpenFile(path string) (File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, ErrCrashed
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	ff := &FaultFile{d: d, f: f, path: path}
+	d.files = append(d.files, ff)
+	return ff, nil
+}
+
+// Crash simulates the machine dying: all subsequent operations on
+// every file fail with ErrCrashed, and each file is truncated to a
+// random length in [synced, written] — the unsynced suffix may survive
+// fully, partially, or not at all. Safe to call from any goroutine,
+// including concurrently with in-flight writes (the crash point lands
+// between write calls, like a real power cut between sector commits).
+func (d *FaultDir) Crash() {
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return
+	}
+	d.crashed = true
+	files := append([]*FaultFile(nil), d.files...)
+	rng := d.rng
+	d.mu.Unlock()
+
+	for _, ff := range files {
+		ff.mu.Lock()
+		keep := ff.synced
+		if ff.written > ff.synced {
+			keep += rng.Int63n(ff.written - ff.synced + 1)
+		}
+		if ff.f != nil {
+			ff.f.Close()
+			ff.f = nil
+		}
+		os.Truncate(ff.path, keep)
+		ff.mu.Unlock()
+	}
+}
+
+// Rename is the Options.Rename hook: a real rename that fails after a
+// simulated crash, so a checkpoint cannot be installed by a dead
+// machine.
+func (d *FaultDir) Rename(oldpath, newpath string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return ErrCrashed
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Crashed reports whether Crash has been called.
+func (d *FaultDir) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// FaultFile wraps one real file with the directory's fault model,
+// tracking written vs synced offsets so Crash can discard exactly the
+// bytes a real crash could.
+type FaultFile struct {
+	d    *FaultDir
+	mu   sync.Mutex
+	f    *os.File
+	path string
+
+	written int64
+	synced  int64
+}
+
+// Write implements io.Writer with the directory's injected faults.
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	ff.d.mu.Lock()
+	if ff.d.crashed {
+		ff.d.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	ff.d.writes++
+	lim := len(p)
+	var failErr error
+	if ff.d.WriteBudget >= 0 {
+		if room := ff.d.WriteBudget - ff.d.written; int64(lim) > room {
+			lim = int(max(0, room))
+			failErr = ErrInjectedWrite
+		}
+	}
+	if failErr == nil && ff.d.ShortEvery > 0 && ff.d.writes%ff.d.ShortEvery == 0 && lim > 1 {
+		lim = lim / 2
+		failErr = errShortWrite
+	}
+	delay := ff.d.WriteDelay
+	ff.d.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.f == nil {
+		return 0, ErrCrashed
+	}
+	n, err := ff.f.Write(p[:lim])
+	ff.written += int64(n)
+	ff.d.mu.Lock()
+	ff.d.written += int64(n)
+	ff.d.mu.Unlock()
+	if err == nil && failErr != nil {
+		err = failErr
+	}
+	return n, err
+}
+
+var errShortWrite = errors.New("wal: injected short write")
+
+// Sync implements File: on success the written prefix becomes
+// crash-proof.
+func (ff *FaultFile) Sync() error {
+	ff.d.mu.Lock()
+	if ff.d.crashed {
+		ff.d.mu.Unlock()
+		return ErrCrashed
+	}
+	fail := ff.d.FailSyncs
+	ff.d.mu.Unlock()
+	if fail {
+		return ErrInjectedSync
+	}
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.f == nil {
+		return ErrCrashed
+	}
+	if err := ff.f.Sync(); err != nil {
+		return err
+	}
+	ff.synced = ff.written
+	return nil
+}
+
+// Close implements File. Closing does not sync: bytes written but
+// never synced remain crash-vulnerable, as on a real system.
+func (ff *FaultFile) Close() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.f == nil {
+		return nil
+	}
+	err := ff.f.Close()
+	ff.f = nil
+	return err
+}

@@ -1,0 +1,438 @@
+// Package wal is the durability substrate of the ingest path: a
+// CRC-framed, fsync-on-commit write-ahead log of structural update
+// batches, with segment rotation, periodic full-graph checkpoints
+// (written through internal/graphio's binary edge format), and
+// crash recovery that replays checkpoint + log tail and truncates a
+// torn final record.
+//
+// Layout of a log directory:
+//
+//	wal-<20-digit LSN>.seg    update records starting at that LSN
+//	ckpt-<20-digit LSN>.ckpt  full edge dump covering updates < LSN
+//	*.tmp                     in-flight checkpoints (ignored, deleted)
+//
+// The LSN is the number of individual updates committed, not batches:
+// every Append advances it by len(batch), a checkpoint at LSN C makes
+// all records ending at or below C prunable, and recovery reports the
+// LSN it restored through so callers can line the state up against an
+// acked prefix of their update stream.
+//
+// A segment starts with a 16-byte header (magic + base LSN) and holds
+// length-prefixed records:
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//	payload = u64 baseLSN | u32 count | count * (u8 op, u32 u, u32 v, u32 t)
+//
+// Append writes one record and fsyncs before returning — the group
+// commit: callers amortize the fsync by batching updates per record
+// (internal/batcher). Rotation syncs and closes the old segment before
+// the new one accepts records, so only the final segment of a crashed
+// log can ever hold a torn record; anything malformed earlier is
+// genuine corruption and recovery refuses it rather than silently
+// dropping acknowledged updates.
+//
+// The file abstraction (File, Options.OpenFile) exists for fault
+// injection: tests wrap real files in fault.go's FaultFile to inject
+// write errors, short writes, fsync failures, latency, and kill -9
+// style crashes that discard unsynced bytes.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"snapdyn/internal/edge"
+)
+
+const (
+	segMagic    = "SNAPWAL1"
+	segHdrSize  = 16 // magic(8) + baseLSN(8)
+	frameHdr    = 8  // payloadLen(4) + crc(4)
+	recHdrSize  = 12 // baseLSN(8) + count(4)
+	updSize     = 13 // op(1) + u(4) + v(4) + t(4)
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+	ckptPrefix  = "ckpt-"
+	ckptSuffix  = ".ckpt"
+	tmpSuffix   = ".tmp"
+	lsnDigits   = 20
+	maxRecBytes = 1 << 30 // sanity cap on one record's payload
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports damage recovery cannot reconcile with the log's
+// write discipline: a bad record before the final one, an LSN gap
+// between checkpoint and first surviving segment, or a CRC-valid but
+// malformed payload. A torn *final* record is not corruption — it is
+// the expected shape of a crash and is truncated silently.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// File is the writable handle the log appends through. *os.File
+// implements it; fault-injection tests substitute wrappers.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Options configures a log.
+type Options struct {
+	// SegmentBytes rotates to a fresh segment once the current one
+	// would exceed this size; <= 0 means 64 MiB. A single record larger
+	// than the limit still commits (segments always accept at least one
+	// record).
+	SegmentBytes int64
+	// OpenFile creates a segment or checkpoint file for writing. Nil
+	// uses os.Create. Fault-injection tests substitute a wrapper;
+	// reads during recovery always use the real filesystem.
+	OpenFile func(path string) (File, error)
+	// Rename atomically installs a checkpoint. Nil uses os.Rename;
+	// the fault layer substitutes a wrapper so a simulated crash stops
+	// installation exactly where a real one would.
+	Rename func(oldpath, newpath string) error
+	// Hook, when non-nil, is invoked at named internal points
+	// ("ckpt-written" after the temp checkpoint is synced,
+	// "ckpt-renamed" after it is atomically installed, before pruning).
+	// It exists so crash tests can kill the process model at exactly
+	// the awkward moments; production leaves it nil.
+	Hook func(point string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.OpenFile == nil {
+		o.OpenFile = func(path string) (File, error) { return os.Create(path) }
+	}
+	if o.Rename == nil {
+		o.Rename = os.Rename
+	}
+	if o.Hook == nil {
+		o.Hook = func(string) {}
+	}
+	return o
+}
+
+// Metrics counts log activity since Open.
+type Metrics struct {
+	// Appends is the number of committed records (= group commits);
+	// AppendedUpdates the updates across them. Each append costs one
+	// fsync, so AppendedUpdates/Appends is the realized group size.
+	Appends         uint64
+	AppendedUpdates uint64
+	// Bytes is the framed record bytes written (headers included).
+	Bytes uint64
+	// Rotations counts segment rollovers, Checkpoints installed
+	// checkpoints, CheckpointErrs failed attempts (the log stays
+	// usable; the WAL still covers everything).
+	Rotations      uint64
+	Checkpoints    uint64
+	CheckpointErrs uint64
+}
+
+// Log is an append-only update log bound to one directory. Append,
+// Checkpoint, and Close serialize on an internal mutex (the intended
+// caller is a single flusher goroutine); LSN and Metrics are safe from
+// any goroutine. After a write or sync error the log fails sticky:
+// every later Append returns the first error, because a partially
+// persisted record makes the in-memory LSN unreliable until recovery
+// re-establishes it.
+type Log struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	f       File
+	err     error
+	segBase uint64 // base LSN of the current segment
+	segSize int64
+	buf     []byte
+	lastCkp uint64 // LSN of the newest installed checkpoint
+
+	lsn atomic.Uint64
+
+	metMu sync.Mutex
+	met   Metrics
+}
+
+// Create opens (and if needed creates) the log directory, runs
+// recovery over whatever it holds, and returns the log positioned to
+// append after the last durable record, together with the recovered
+// state. A fresh directory yields an empty Recovery at LSN 0.
+//
+// Recovery never reuses a crashed segment in place: the log always
+// starts a new segment at the recovered LSN, so the append path never
+// has to reason about pre-crash bytes beyond the truncation already
+// applied.
+func Create(dir string, opt Options) (*Log, *Recovery, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec, err := recover_(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opt: opt, lastCkp: rec.CheckpointLSN()}
+	l.lsn.Store(rec.LSN)
+	if err := l.rotateLocked(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// LSN returns the number of updates durably committed (appended and
+// fsynced) so far, including everything recovered at Create.
+func (l *Log) LSN() uint64 { return l.lsn.Load() }
+
+// Metrics returns a copy of the activity counters.
+func (l *Log) Metrics() Metrics {
+	l.metMu.Lock()
+	defer l.metMu.Unlock()
+	return l.met
+}
+
+// Append frames the batch as one record, writes it to the current
+// segment, and fsyncs — the commit point. It returns the record's base
+// LSN; the batch occupies [base, base+len). An empty batch is a no-op.
+// On error nothing is acknowledged: the record may be partially on
+// disk, recovery will truncate it, and the log fails sticky.
+func (l *Log) Append(batch []edge.Update) (uint64, error) {
+	if len(batch) == 0 {
+		return l.lsn.Load(), nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	need := int64(frameHdr + recHdrSize + updSize*len(batch))
+	if l.segSize+need > l.opt.SegmentBytes && l.segSize > segHdrSize {
+		if err := l.rotateLocked(); err != nil {
+			return 0, l.fail(err)
+		}
+	}
+	base := l.lsn.Load()
+	l.buf = encodeRecord(l.buf[:0], base, batch)
+	if err := writeFull(l.f, l.buf); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: append: %w", err))
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, l.fail(fmt.Errorf("wal: commit sync: %w", err))
+	}
+	l.segSize += int64(len(l.buf))
+	l.lsn.Store(base + uint64(len(batch)))
+	l.metMu.Lock()
+	l.met.Appends++
+	l.met.AppendedUpdates += uint64(len(batch))
+	l.met.Bytes += uint64(len(l.buf))
+	l.metMu.Unlock()
+	return base, nil
+}
+
+// fail records the first error and poisons the log.
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return err
+}
+
+// rotateLocked syncs and closes the current segment (if any) and
+// starts a new one at the current LSN. Called with l.mu held.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+		l.metMu.Lock()
+		l.met.Rotations++
+		l.metMu.Unlock()
+	}
+	base := l.lsn.Load()
+	path := filepath.Join(l.dir, fmt.Sprintf("%s%0*d%s", segPrefix, lsnDigits, base, segSuffix))
+	f, err := l.opt.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	var hdr [segHdrSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], base)
+	if err := writeFull(f, hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	// The header must be durable before any record: a segment whose
+	// header did not survive a crash is treated as empty by recovery,
+	// which is only sound if records cannot precede it on disk.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segBase = base
+	l.segSize = segHdrSize
+	return nil
+}
+
+// Close syncs and closes the current segment. The log is unusable
+// afterwards; reopen with Create.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.err
+	}
+	f := l.f
+	l.f = nil
+	if l.err == nil {
+		l.err = ErrClosed
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	f.Close()
+	return nil
+}
+
+// encodeRecord appends the framed record for batch at base to dst.
+func encodeRecord(dst []byte, base uint64, batch []edge.Update) []byte {
+	payloadLen := recHdrSize + updSize*len(batch)
+	var b [frameHdr + recHdrSize]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(payloadLen))
+	// crc patched below, after the payload is assembled.
+	binary.LittleEndian.PutUint64(b[8:], base)
+	binary.LittleEndian.PutUint32(b[16:], uint32(len(batch)))
+	at := len(dst)
+	dst = append(dst, b[:]...)
+	var u [updSize]byte
+	for _, up := range batch {
+		u[0] = byte(up.Op)
+		binary.LittleEndian.PutUint32(u[1:], up.U)
+		binary.LittleEndian.PutUint32(u[5:], up.V)
+		binary.LittleEndian.PutUint32(u[9:], up.T)
+		dst = append(dst, u[:]...)
+	}
+	crc := crc32.Checksum(dst[at+frameHdr:], crcTable)
+	binary.LittleEndian.PutUint32(dst[at+4:], crc)
+	return dst
+}
+
+// writeFull writes all of p, converting a silent short write into an
+// explicit error (io.Writer implementations must error on short
+// writes, but the fault layer deliberately produces them).
+func writeFull(w io.Writer, p []byte) error {
+	n, err := w.Write(p)
+	if err != nil {
+		return err
+	}
+	if n < len(p) {
+		return io.ErrShortWrite
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so entry creation/rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// segName parses a segment filename, returning its base LSN.
+func segName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(mid) != lsnDigits {
+		return 0, false
+	}
+	var lsn uint64
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		lsn = lsn*10 + uint64(c-'0')
+	}
+	return lsn, true
+}
+
+// ckptName parses a checkpoint filename, returning its covered LSN.
+func ckptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	mid := name[len(ckptPrefix) : len(name)-len(ckptSuffix)]
+	if len(mid) != lsnDigits {
+		return 0, false
+	}
+	var lsn uint64
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		lsn = lsn*10 + uint64(c-'0')
+	}
+	return lsn, true
+}
+
+// listDir enumerates segments and checkpoints by LSN, ascending, and
+// collects stray temp files left by crashed checkpoints.
+func listDir(dir string) (segs, ckpts []uint64, tmps []string, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if lsn, ok := segName(name); ok {
+			segs = append(segs, lsn)
+		} else if lsn, ok := ckptName(name); ok {
+			ckpts = append(ckpts, lsn)
+		} else if strings.HasSuffix(name, tmpSuffix) {
+			tmps = append(tmps, filepath.Join(dir, name))
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] < ckpts[j] })
+	return segs, ckpts, tmps, nil
+}
+
+func segPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%0*d%s", segPrefix, lsnDigits, lsn, segSuffix))
+}
+
+func ckptPath(dir string, lsn uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%0*d%s", ckptPrefix, lsnDigits, lsn, ckptSuffix))
+}
