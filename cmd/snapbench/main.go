@@ -43,7 +43,17 @@
 // group-commit write-ahead log (fsync before every ack) under the same
 // concurrent query load, the achieved updates-per-fsync amortization,
 // and a measured crash recovery (checkpoint load + log-tail replay) of
-// the directory the WAL phase leaves behind. -json additionally writes
+// the directory the WAL phase leaves behind. The figure "workload"
+// prices the snapshot-identity result cache under modeled serving
+// traffic: for each -zipf exponent it drives a skewed query mix
+// (closed loop, or open-loop bursty arrivals with -rate) against the
+// serving executor with caching off and then with a -cache-bytes
+// budget, under concurrent churn ingest with age-policy refreshes, and
+// reports sustained QPS, p50/p99, and the hit rate — every cached run
+// is verified bit-identical against uncached recomputation on the same
+// pinned snapshot before its row is printed. -replay substitutes a
+// JSONL trace captured by snapserve -record for the synthetic
+// generator. -json additionally writes
 // every measured table to a file for the committed BENCH_*.json
 // artifacts.
 //
@@ -63,6 +73,7 @@ import (
 
 	"snapdyn/internal/bench"
 	"snapdyn/internal/timing"
+	"snapdyn/internal/workload"
 )
 
 func main() {
@@ -83,6 +94,10 @@ func main() {
 		deltas     = flag.String("deltas", "", "comma-separated delta-stepping bucket widths to sweep for -kernel=sssp (0 = average-weight heuristic; default just the heuristic)")
 		scales     = flag.String("scales", "", "comma-separated scales for figure 1 (default scale-6..scale)")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for the 'shard' figure")
+		zipfs      = flag.String("zipf", "0,0.8,1.2", "comma-separated Zipf exponents for the 'workload' figure")
+		cacheBytes = flag.Int64("cache-bytes", 128<<20, "result-cache budget for the 'workload' figure's cached runs")
+		rate       = flag.Float64("rate", 0, "open-loop arrival rate (queries/s per worker) for the 'workload' figure; 0 = closed loop")
+		replay     = flag.String("replay", "", "JSONL query trace (from snapserve -record) to replay for the 'workload' figure instead of synthetic traffic")
 		jsonPath   = flag.String("json", "", "also write the measured tables as JSON to this file")
 	)
 	flag.Parse()
@@ -172,6 +187,23 @@ func main() {
 			}
 			return bench.FigShard(cfg, sc, *qworkers, *qduration)
 		},
+		"workload": func() *timing.Table {
+			zs, err := parseFloats(*zipfs)
+			if err != nil {
+				fatalf("bad -zipf: %v", err)
+			}
+			var trace []workload.Op
+			if *replay != "" {
+				trace, err = workload.ReadTrace(*replay)
+				if err != nil {
+					fatalf("reading -replay: %v", err)
+				}
+				if len(trace) == 0 {
+					fatalf("-replay trace %q is empty", *replay)
+				}
+			}
+			return bench.FigWorkload(cfg, zs, *cacheBytes, *rate, *qduration, trace)
+		},
 	}
 
 	var order []string
@@ -181,7 +213,7 @@ func main() {
 		for _, f := range strings.Split(*fig, ",") {
 			f = strings.TrimSpace(f)
 			if _, ok := runners[f]; !ok {
-				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, shard, memory, ingest, or all)", f)
+				fatalf("unknown figure %q (want 1..11, kernel, pipeline, service, shard, memory, ingest, workload, or all)", f)
 			}
 			order = append(order, f)
 		}
@@ -219,6 +251,21 @@ func parseInts(s string) ([]int, error) {
 		}
 		if v <= 0 {
 			return nil, fmt.Errorf("non-positive value %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative value %g", v)
 		}
 		out = append(out, v)
 	}

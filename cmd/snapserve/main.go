@@ -13,6 +13,14 @@
 // run on a bounded executor pool with per-worker kernel scratch reused
 // across requests; past -qmax executing and -queue waiting queries,
 // requests are shed with 503 so latency stays bounded under overload.
+// Results are memoized per snapshot in a -cache-bytes budgeted cache
+// keyed by snapshot identity (0 disables): repeat queries between
+// refreshes are served from immutable cached slices without touching
+// kernel scratch, concurrent identical misses coalesce into one
+// execution, and a republished snapshot invalidates by identity — the
+// old generation dies with its snapshot, no scanning. -record tees
+// every accepted query into a JSONL trace (flushed on shutdown) that
+// snapbench -fig workload -replay runs back as a benchmark workload.
 //
 // With -wal-dir the ingest path becomes durable: submissions coalesce
 // in a group-commit batcher, each flush is framed, CRC'd, and fsynced
@@ -72,6 +80,7 @@ import (
 	"snapdyn/internal/shard"
 	"snapdyn/internal/snapmgr"
 	"snapdyn/internal/stream"
+	"snapdyn/internal/workload"
 )
 
 // config collects everything the service needs to come up; flags parse
@@ -93,6 +102,13 @@ type config struct {
 	refreshDirty int
 	refreshAge   time.Duration
 	refreshPoll  time.Duration
+
+	// cacheBytes budgets the per-snapshot result cache (0 disables —
+	// every query recomputes).
+	cacheBytes int64
+	// recordPath, when set, tees every accepted query into a JSONL
+	// trace file for snapbench -fig workload -replay.
+	recordPath string
 
 	// walDir enables the durable ingest path: group-commit WAL +
 	// checkpoints under this directory (per-shard subdirectories when
@@ -130,9 +146,36 @@ type service struct {
 	recovery string
 }
 
-// buildService loads or generates the graph, builds the manager (or
-// shard fleet) and executor, and starts the auto-refresher(s).
+// buildService assembles the stack and, with recordPath set, tees
+// every accepted query into a JSONL trace whose flush rides the
+// service's own shutdown path — a clean stop never loses the tail.
 func buildService(cfg config) (*service, error) {
+	svc, err := buildStack(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.recordPath != "" {
+		rec, err := workload.NewRecorder(cfg.recordPath)
+		if err != nil {
+			svc.close()
+			return nil, fmt.Errorf("opening -record trace: %w", err)
+		}
+		svc.srv.SetRecorder(rec)
+		stop := svc.stop
+		svc.stop = func() error {
+			err := stop()
+			if cerr := rec.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+	}
+	return svc, nil
+}
+
+// buildStack loads or generates the graph, builds the manager (or
+// shard fleet) and executor, and starts the auto-refresher(s).
+func buildStack(cfg config) (*service, error) {
 	var edges []edge.Edge
 	var n int
 	if cfg.graphPath != "" {
@@ -169,6 +212,7 @@ func buildService(cfg config) (*service, error) {
 		MaxConcurrent: cfg.maxQueries,
 		MaxQueue:      cfg.maxQueue,
 		Undirected:    cfg.undirected,
+		CacheBytes:    cfg.cacheBytes,
 	}
 
 	scfg := shard.Config{
@@ -274,6 +318,8 @@ func main() {
 		qworkers   = flag.Int("qworkers", 1, "kernel parallelism per query")
 		qmax       = flag.Int("qmax", 0, "max concurrent queries (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "max waiting queries before shedding (0 = 2*qmax)")
+		cacheB     = flag.Int64("cache-bytes", 64<<20, "per-snapshot result-cache budget in bytes (0 disables caching)")
+		record     = flag.String("record", "", "tee every accepted query into this JSONL trace file (replay with snapbench -fig workload -replay)")
 		refDirty   = flag.Int("refresh-dirty", 4096, "auto-refresh when this many vertices are dirty")
 		refAge     = flag.Duration("refresh-age", 500*time.Millisecond, "auto-refresh when the snapshot is this stale with updates pending")
 		refPoll    = flag.Duration("refresh-poll", 0, "auto-refresh trigger poll interval (0 = derived)")
@@ -300,6 +346,8 @@ func main() {
 		refreshDirty: *refDirty,
 		refreshAge:   *refAge,
 		refreshPoll:  *refPoll,
+		cacheBytes:   *cacheB,
+		recordPath:   *record,
 		walDir:       *walDir,
 		ckptEvery:    *ckptEvery,
 		batchMax:     *batchMax,

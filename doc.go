@@ -79,6 +79,19 @@
 //     queue-or-shed admission control, and cmd/snapserve exposes the
 //     whole stack as an HTTP/JSON daemon with /ingest, /query/*,
 //     /stats, and /healthz endpoints.
+//   - A snapshot-identity result cache with singleflight coalescing
+//     (internal/qcache, snapserve -cache-bytes): query results are
+//     cached per published snapshot and N concurrent identical queries
+//     execute one kernel run. The identity-invalidation contract: the
+//     cache keys its generation by the published View pointer, never
+//     by the epoch number — a no-op refresh bumps the epoch but
+//     republishes the identical pointer, so entries survive exactly as
+//     long as the snapshot they were computed against, and a real
+//     refresh retires the whole generation with its snapshot
+//     (RCU-by-GC; there is no invalidation walk to get wrong). Cache
+//     hits bypass kernel scratch entirely (0 allocs/op steady state,
+//     asserted) and still honor minEpoch: freshness gating runs before
+//     the lookup, so a hit on a stale snapshot is still refused.
 //   - A vertex-partitioned sharding layer behind the same facade
 //     (NewSharded, internal/shard): vertex u is owned by shard u % P,
 //     and each of the P shard workers runs its own Tracked store +

@@ -27,6 +27,16 @@ type Server struct {
 	undirected    bool
 	ingestWorkers int
 	staleWait     time.Duration
+	rec           QueryRecorder
+}
+
+// QueryRecorder observes every well-formed query request before it is
+// dispatched (hit, miss, shed, or stale alike — the trace captures
+// offered load, not served load). internal/workload implements it over
+// a JSONL trace file for snapserve -record / snapbench -replay.
+// Implementations must be safe for concurrent use.
+type QueryRecorder interface {
+	RecordQuery(kind string, u, v uint32, delta int64)
 }
 
 // DefaultStaleWait bounds how long a query with a minEpoch constraint
@@ -43,6 +53,15 @@ func NewServer(eng Engine, undirected bool, ingestWorkers int) *Server {
 // SetStaleWait overrides the minEpoch wait bound (tests use short
 // values). Call before serving.
 func (s *Server) SetStaleWait(d time.Duration) { s.staleWait = d }
+
+// SetRecorder installs a query-trace recorder. Call before serving.
+func (s *Server) SetRecorder(rec QueryRecorder) { s.rec = rec }
+
+func (s *Server) record(kind string, u, v uint32, delta int64) {
+	if s.rec != nil {
+		s.rec.RecordQuery(kind, u, v, delta)
+	}
+}
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -112,6 +131,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	s.record("bfs", src, 0, 0)
 	if err := s.waitMinEpoch(r); err != nil {
 		httpError(w, err)
 		return
@@ -138,6 +158,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	s.record("sssp", src, 0, delta)
 	if err := s.waitMinEpoch(r); err != nil {
 		httpError(w, err)
 		return
@@ -161,6 +182,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	s.record("connected", u, v, 0)
 	if err := s.waitMinEpoch(r); err != nil {
 		httpError(w, err)
 		return
@@ -174,6 +196,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	s.record("components", 0, 0, 0)
 	if err := s.waitMinEpoch(r); err != nil {
 		httpError(w, err)
 		return

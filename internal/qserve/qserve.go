@@ -27,6 +27,7 @@ import (
 	"snapdyn/internal/dyngraph"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/par"
+	"snapdyn/internal/qcache"
 	"snapdyn/internal/snapmgr"
 	"snapdyn/internal/sssp"
 	"snapdyn/internal/traversal"
@@ -58,8 +59,14 @@ type Config struct {
 	// 2*MaxConcurrent. Beyond it, queries are shed with ErrOverloaded.
 	MaxQueue int
 	// Undirected declares the managed snapshots symmetric, enabling the
-	// direction-optimizing traversal strategy for BFS-shaped queries.
+	// direction-opt traversal strategy for BFS-shaped queries.
 	Undirected bool
+	// CacheBytes is the result-cache payload budget; <= 0 disables
+	// caching (every query recomputes). The cache is keyed by snapshot
+	// identity — the published View pointer, never the epoch number —
+	// so no-op refreshes keep entries alive and a real refresh retires
+	// the whole generation with its snapshot (see internal/qcache).
+	CacheBytes int64
 }
 
 // WithDefaults fills unset fields with the serving defaults.
@@ -162,10 +169,11 @@ type Engine interface {
 // Executor runs queries against mgr.Current() with pooled scratch and
 // bounded admission. All methods are safe for concurrent use.
 type Executor struct {
-	mgr  *snapmgr.Manager
-	cfg  Config
-	adm  *Admission
-	free chan *scratchSet
+	mgr   *snapmgr.Manager
+	cfg   Config
+	adm   *Admission
+	free  chan *scratchSet
+	cache *qcache.Cache // nil when Config.CacheBytes <= 0
 
 	// ingest, when set (SetIngest), replaces the direct gated apply
 	// with a durable commit path.
@@ -178,12 +186,17 @@ var _ Engine = (*Executor)(nil)
 func New(mgr *snapmgr.Manager, cfg Config) *Executor {
 	cfg = cfg.WithDefaults()
 	return &Executor{
-		mgr:  mgr,
-		cfg:  cfg,
-		adm:  NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
-		free: make(chan *scratchSet, cfg.MaxConcurrent),
+		mgr:   mgr,
+		cfg:   cfg,
+		adm:   NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		free:  make(chan *scratchSet, cfg.MaxConcurrent),
+		cache: qcache.New(cfg.CacheBytes),
 	}
 }
+
+// Cache returns the executor's result cache (nil when disabled) — the
+// observation hook tests and the workload harness verify through.
+func (e *Executor) Cache() *qcache.Cache { return e.cache }
 
 // Manager returns the snapshot manager the executor serves from.
 func (e *Executor) Manager() *snapmgr.Manager { return e.mgr }
@@ -213,35 +226,58 @@ func (e *Executor) WaitEpoch(min uint64, timeout time.Duration) (uint64, error) 
 	return e.mgr.WaitEpoch(min, timeout)
 }
 
-// Metrics returns the manager's refresh metrics.
-func (e *Executor) Metrics() snapmgr.Metrics { return e.mgr.Metrics() }
+// Metrics returns the manager's refresh metrics overlaid with the
+// result-cache counters (zeros when caching is disabled).
+func (e *Executor) Metrics() snapmgr.Metrics {
+	m := e.mgr.Metrics()
+	ctr := e.cache.Counters()
+	m.CacheHits = ctr.Hits
+	m.CacheMisses = ctr.Misses
+	m.CacheCoalesced = ctr.Coalesced
+	m.CacheEvictions = ctr.Evictions
+	m.CacheBytes = ctr.Bytes
+	return m
+}
 
 // Counters returns a point-in-time view of executor activity.
 func (e *Executor) Counters() Counters { return e.adm.Counters() }
 
 // checkout admits the query (queue-or-shed), then hands out the current
 // snapshot view (in whatever storage layout the manager publishes), its
-// epoch lower bound, and a scratch set. Scratch objects are only ever
-// created while holding an execution slot and the free list is
-// slot-capacity sized, so at most MaxConcurrent sets exist and a
-// release never drops one.
-func (e *Executor) checkout() (*snapmgr.View, uint64, *scratchSet, error) {
+// epoch lower bound, and — when caching is on — the snapshot's cache
+// generation. No scratch is taken here: a cache hit answers from the
+// generation without ever touching the scratch pool (the 0-alloc hit
+// path); only a miss checks a set out via scratch().
+func (e *Executor) checkout() (*snapmgr.View, uint64, *qcache.Gen, error) {
 	if err := e.adm.Acquire(); err != nil {
 		return nil, 0, nil, err
 	}
+	// Epoch first, then the view: the snapshot served is at least this
+	// fresh (publication stores the view before bumping the epoch).
+	epoch := e.mgr.Epoch()
+	v := e.mgr.View()
+	return v, epoch, e.cache.ForView(v, epoch), nil
+}
+
+// scratch checks a set out of the pool. Callers must hold an admission
+// slot: scratch objects are only ever created while holding one and the
+// free list is slot-capacity sized, so at most MaxConcurrent sets exist
+// and unscratch never drops one.
+func (e *Executor) scratch(epoch uint64) *scratchSet {
 	var s *scratchSet
 	select {
 	case s = <-e.free:
 	default:
 		s = newScratchSet()
 	}
-	// Epoch first, then the view: the snapshot served is at least this
-	// fresh (publication stores the view before bumping the epoch).
-	epoch := e.mgr.Epoch()
-	v := e.mgr.View()
 	s.revalidate(epoch)
-	return v, epoch, s, nil
+	return s
 }
+
+// unscratch returns a set to the pool. Runs before the caller's
+// deferred slot release, so a queued query that wakes always finds a
+// warm set on the free list.
+func (e *Executor) unscratch(s *scratchSet) { e.free <- s }
 
 // translate maps an original vertex id into the view's layout space:
 // the identity for plain and compressed views, the held permutation for
@@ -252,13 +288,6 @@ func translate(v *snapmgr.View, u uint32) uint32 {
 		return v.Perm[u]
 	}
 	return u
-}
-
-// release returns the scratch before freeing the slot, so a queued
-// query that wakes always finds a warm set on the free list.
-func (e *Executor) release(s *scratchSet) {
-	e.free <- s
-	e.adm.Release()
 }
 
 // strategy picks the traversal engine for BFS-shaped queries.
@@ -281,16 +310,41 @@ type BFSReply struct {
 // whatever its storage layout: reordered views translate src through
 // the held permutation, compressed views traverse by streaming decode
 // (traversal.RunStream). The reply's aggregates are id-invariant, so
-// every layout answers bit-identically.
+// every layout answers bit-identically. With caching on, a repeat src
+// against the same published snapshot is served from the generation
+// without touching the scratch pool, and concurrent identical misses
+// coalesce onto one kernel execution.
 func (e *Executor) BFS(src uint32) (BFSReply, error) {
-	v, epoch, s, err := e.checkout()
+	v, epoch, gen, err := e.checkout()
 	if err != nil {
 		return BFSReply{}, err
 	}
-	defer e.release(s)
+	defer e.adm.Release()
 	if int(src) >= v.NumVertices() {
 		return BFSReply{}, ErrBadVertex
 	}
+	k := qcache.Key{Kind: qcache.KindBFS, A: uint64(src)}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			// Uncached: run directly — no singleflight closure, no
+			// result copy, the original allocation-free miss path.
+			val = e.bfsValue(v, epoch, src, false)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.bfsValue(v, epoch, src, true), nil
+			})
+		}
+	}
+	return BFSReply{Src: src, Reached: int(val.N1), Levels: int(val.N2), Epoch: epoch}, nil
+}
+
+// bfsValue executes the BFS kernel against the pinned view. keep copies
+// the level array out of the pooled scratch into an immutable slice for
+// the cache; the uncached path skips the copy and stays allocation-free.
+func (e *Executor) bfsValue(v *snapmgr.View, epoch uint64, src uint32, keep bool) qcache.Value {
+	s := e.scratch(epoch)
+	defer e.unscratch(s)
 	s.src[0] = translate(v, src)
 	opt := traversal.Options{Workers: e.cfg.Workers, Strategy: e.strategy()}
 	if v.C != nil {
@@ -298,7 +352,11 @@ func (e *Executor) BFS(src uint32) (BFSReply, error) {
 	} else {
 		traversal.Run(v.G, s.src[:1], opt, s.trav, &s.res)
 	}
-	return BFSReply{Src: src, Reached: s.res.Reached, Levels: s.res.Levels, Epoch: epoch}, nil
+	val := qcache.Value{N1: int64(s.res.Reached), N2: int64(s.res.Levels)}
+	if keep {
+		val.Levels = append([]int32(nil), s.res.Level...)
+	}
+	return val
 }
 
 // SSSPReply summarizes one delta-stepping shortest-paths query.
@@ -324,14 +382,33 @@ type SSSPReply struct {
 // kernel (sssp.RunStream) instead of delta-stepping — distances are
 // identical; delta is ignored there (the stream kernel has no buckets).
 func (e *Executor) SSSP(src uint32, delta int64) (SSSPReply, error) {
-	v, epoch, s, err := e.checkout()
+	v, epoch, gen, err := e.checkout()
 	if err != nil {
 		return SSSPReply{}, err
 	}
-	defer e.release(s)
+	defer e.adm.Release()
 	if int(src) >= v.NumVertices() {
 		return SSSPReply{}, ErrBadVertex
 	}
+	k := qcache.Key{Kind: qcache.KindSSSP, A: uint64(src), B: uint64(delta)}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			val = e.ssspValue(v, epoch, src, delta, false)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.ssspValue(v, epoch, src, delta, true), nil
+			})
+		}
+	}
+	return SSSPReply{Src: src, Reached: int(val.N1), MaxDist: val.N2, Epoch: epoch}, nil
+}
+
+// ssspValue executes the shortest-paths kernel against the pinned view;
+// keep copies the distance array out for the cache.
+func (e *Executor) ssspValue(v *snapmgr.View, epoch uint64, src uint32, delta int64, keep bool) qcache.Value {
+	s := e.scratch(epoch)
+	defer e.unscratch(s)
 	var dist []int64
 	if v.C != nil {
 		if s.sspStream == nil {
@@ -341,16 +418,19 @@ func (e *Executor) SSSP(src uint32, delta int64) (SSSPReply, error) {
 	} else {
 		dist = sssp.Run(v.G, edge.ID(translate(v, src)), sssp.Options{Workers: e.cfg.Workers, Delta: delta, Scratch: s.ssp})
 	}
-	reply := SSSPReply{Src: src, Epoch: epoch}
+	var val qcache.Value
 	for _, d := range dist {
 		if d != sssp.Inf {
-			reply.Reached++
-			if d > reply.MaxDist {
-				reply.MaxDist = d
+			val.N1++
+			if d > val.N2 {
+				val.N2 = d
 			}
 		}
 	}
-	return reply, nil
+	if keep {
+		val.Dist = append([]int64(nil), dist...)
+	}
+	return val
 }
 
 // ConnReply answers one st-connectivity query.
@@ -367,11 +447,11 @@ type ConnReply struct {
 // u: the engine's level-end hook stops as soon as v settles, so the
 // remaining levels' arcs are never inspected.
 func (e *Executor) Connected(u, v uint32) (ConnReply, error) {
-	view, epoch, s, err := e.checkout()
+	view, epoch, gen, err := e.checkout()
 	if err != nil {
 		return ConnReply{}, err
 	}
-	defer e.release(s)
+	defer e.adm.Release()
 	if int(u) >= view.NumVertices() || int(v) >= view.NumVertices() {
 		return ConnReply{}, ErrBadVertex
 	}
@@ -380,6 +460,27 @@ func (e *Executor) Connected(u, v uint32) (ConnReply, error) {
 		reply.Connected, reply.Hops = true, 0
 		return reply, nil
 	}
+	k := qcache.Key{Kind: qcache.KindConnected, A: uint64(u), B: uint64(v)}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			val = e.connValue(view, epoch, u, v)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.connValue(view, epoch, u, v), nil
+			})
+		}
+	}
+	reply.Connected, reply.Hops = val.Flag, int32(val.N1)
+	return reply, nil
+}
+
+// connValue executes the early-exiting st-connectivity traversal
+// against the pinned view. The verdict is two scalars — it is cached
+// whole (no payload copy to skip).
+func (e *Executor) connValue(view *snapmgr.View, epoch uint64, u, v uint32) qcache.Value {
+	s := e.scratch(epoch)
+	defer e.unscratch(s)
 	// The whole query runs in layout space: source, early-exit target,
 	// and the settled level read back. Hop counts are id-invariant.
 	s.src[0] = translate(view, u)
@@ -395,11 +496,9 @@ func (e *Executor) Connected(u, v uint32) (ConnReply, error) {
 		traversal.Run(view.G, s.src[:1], opt, s.trav, &s.res)
 	}
 	if lvl := s.res.Level[s.connTarget]; lvl != traversal.NotVisited {
-		reply.Connected, reply.Hops = true, lvl
-	} else {
-		reply.Hops = -1
+		return qcache.Value{Flag: true, N1: int64(lvl)}
 	}
-	return reply, nil
+	return qcache.Value{N1: -1}
 }
 
 // ComponentsReply summarizes the component structure.
@@ -415,11 +514,30 @@ type ComponentsReply struct {
 // nothing per request at the serving config (Workers = 1; the parallel
 // census path still builds per-worker partial counts).
 func (e *Executor) Components() (ComponentsReply, error) {
-	v, epoch, s, err := e.checkout()
+	v, epoch, gen, err := e.checkout()
 	if err != nil {
 		return ComponentsReply{}, err
 	}
-	defer e.release(s)
+	defer e.adm.Release()
+	k := qcache.Key{Kind: qcache.KindComponents}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			val = e.componentsValue(v, epoch, false)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.componentsValue(v, epoch, true), nil
+			})
+		}
+	}
+	return ComponentsReply{Components: int(val.N1), LargestSize: int(val.N2), Epoch: epoch}, nil
+}
+
+// componentsValue executes the component labeling against the pinned
+// view; keep copies the label array out for the cache.
+func (e *Executor) componentsValue(v *snapmgr.View, epoch uint64, keep bool) qcache.Value {
+	s := e.scratch(epoch)
+	defer e.unscratch(s)
 	if v.C != nil {
 		s.comp, s.queue = traversal.StreamComponentsInto(v.C, s.comp, s.queue)
 	} else {
@@ -429,7 +547,11 @@ func (e *Executor) Components() (ComponentsReply, error) {
 	}
 	s.sizes = cc.CensusInto(e.cfg.Workers, s.comp, s.sizes)
 	_, size := cc.LargestOf(e.cfg.Workers, s.sizes)
-	return ComponentsReply{Components: cc.Count(s.comp), LargestSize: size, Epoch: epoch}, nil
+	val := qcache.Value{N1: int64(cc.Count(s.comp)), N2: int64(size)}
+	if keep {
+		val.Labels = append([]uint32(nil), s.comp...)
+	}
+	return val
 }
 
 // StatsReply summarizes the served snapshot and the serving state,
@@ -443,6 +565,15 @@ type StatsReply struct {
 	Staleness int    `json:"staleness"`
 	SizeBytes int64  `json:"sizeBytes"`
 	Format    string `json:"format"`
+	// Result-cache activity (internal/qcache); all zero when caching
+	// is disabled. Coalesced counts followers that shared an in-flight
+	// leader's execution; CacheBytes is the live generation's payload
+	// footprint.
+	CacheHits      uint64 `json:"cacheHits"`
+	CacheMisses    uint64 `json:"cacheMisses"`
+	Coalesced      uint64 `json:"coalesced"`
+	CacheBytes     int64  `json:"cacheBytes"`
+	CacheEvictions uint64 `json:"cacheEvictions"`
 }
 
 // Stats reports the current snapshot's shape, layout, and footprint
@@ -458,13 +589,19 @@ func (e *Executor) Stats() StatsReply {
 	} else {
 		maxDeg = v.G.MaxDegree()
 	}
+	ctr := e.cache.Counters()
 	return StatsReply{
-		Vertices:  v.NumVertices(),
-		Arcs:      v.NumEdges(),
-		MaxDegree: maxDeg,
-		Epoch:     epoch,
-		Staleness: e.mgr.Staleness(),
-		SizeBytes: v.SizeBytes(),
-		Format:    e.mgr.Layout().String(),
+		Vertices:       v.NumVertices(),
+		Arcs:           v.NumEdges(),
+		MaxDegree:      maxDeg,
+		Epoch:          epoch,
+		Staleness:      e.mgr.Staleness(),
+		SizeBytes:      v.SizeBytes(),
+		Format:         e.mgr.Layout().String(),
+		CacheHits:      ctr.Hits,
+		CacheMisses:    ctr.Misses,
+		Coalesced:      ctr.Coalesced,
+		CacheBytes:     ctr.Bytes,
+		CacheEvictions: ctr.Evictions,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"snapdyn/internal/cc"
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
+	"snapdyn/internal/qcache"
 	"snapdyn/internal/qserve"
 	"snapdyn/internal/snapmgr"
 	"snapdyn/internal/sssp"
@@ -17,11 +18,20 @@ import (
 // scatter-gather kernels over a pinned per-shard snapshot set. It
 // plugs into qserve.NewServer unchanged — one HTTP surface, either
 // engine.
+//
+// With Config.CacheBytes > 0 the executor carries the same
+// snapshot-identity result cache as the single-shard engine. The cache
+// identity is the whole pinned view set — one *csr.Graph per shard,
+// compared elementwise — so a refresh on any one shard retires the
+// generation, while no-op refreshes (csr.Refresh republishing the
+// identical graph pointer shard-locally) keep it alive.
 type Executor struct {
 	fleet *Fleet
 	cfg   qserve.Config
 	adm   *qserve.Admission
 	free  chan *scratchSet
+	pins  chan *pinSet
+	cache *qcache.Cache // nil when Config.CacheBytes <= 0
 
 	// ingest, when set (SetIngest), replaces the direct scatter apply
 	// with a durable commit path (DurableFleet.Ingest).
@@ -30,13 +40,22 @@ type Executor struct {
 
 var _ qserve.Engine = (*Executor)(nil)
 
-// scratchSet is one pooled unit of sharded query state: the
-// scatter-gather arena plus the pinned view set and the component
-// census buffer.
+// scratchSet is one pooled unit of sharded kernel state: the
+// scatter-gather arena plus the component census buffer. Only cache
+// misses check one out; hits answer from the generation alone.
 type scratchSet struct {
 	sc    *Scratch
-	views []*csr.Graph
 	sizes []int
+}
+
+// pinSet is the per-query snapshot pin: one view per shard, plus the
+// boxed identity buffer the cache generation is matched with. Pooled
+// separately from the kernel scratch so the cache-hit path reuses a
+// warm pin without touching the arena (and without allocating — both
+// slices reach steady-state capacity after the first use).
+type pinSet struct {
+	views []*csr.Graph
+	ids   []any
 }
 
 // NewExecutor returns a fleet executor. cfg.Workers is ignored: a
@@ -48,11 +67,16 @@ func NewExecutor(f *Fleet, cfg qserve.Config) *Executor {
 		cfg:   cfg,
 		adm:   qserve.NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
 		free:  make(chan *scratchSet, cfg.MaxConcurrent),
+		pins:  make(chan *pinSet, cfg.MaxConcurrent),
+		cache: qcache.New(cfg.CacheBytes),
 	}
 }
 
 // Fleet returns the shard fleet the executor serves from.
 func (e *Executor) Fleet() *Fleet { return e.fleet }
+
+// Cache returns the executor's result cache (nil when disabled).
+func (e *Executor) Cache() *qcache.Cache { return e.cache }
 
 // NumVertices returns the fleet's fixed vertex-set size.
 func (e *Executor) NumVertices() int { return e.fleet.NumVertices() }
@@ -78,115 +102,223 @@ func (e *Executor) WaitEpoch(min uint64, timeout time.Duration) (uint64, error) 
 	return e.fleet.WaitEpoch(min, timeout)
 }
 
-// Metrics returns the fleet-aggregated refresh metrics.
-func (e *Executor) Metrics() snapmgr.Metrics { return e.fleet.Metrics() }
+// Metrics returns the fleet-aggregated refresh metrics overlaid with
+// the result-cache counters (zeros when caching is disabled).
+func (e *Executor) Metrics() snapmgr.Metrics {
+	m := e.fleet.Metrics()
+	ctr := e.cache.Counters()
+	m.CacheHits = ctr.Hits
+	m.CacheMisses = ctr.Misses
+	m.CacheCoalesced = ctr.Coalesced
+	m.CacheEvictions = ctr.Evictions
+	m.CacheBytes = ctr.Bytes
+	return m
+}
 
 // Counters returns a point-in-time view of executor activity.
 func (e *Executor) Counters() qserve.Counters { return e.adm.Counters() }
 
-// checkout admits the query, then pins one snapshot per shard and
-// hands out a scratch set. Like the single-shard pool, scratch sets
-// are only created while holding a slot, so at most MaxConcurrent
-// exist.
-func (e *Executor) checkout() (*scratchSet, error) {
+// checkout admits the query, pins one snapshot per shard, and — when
+// caching is on — resolves the pinned set's cache generation. The
+// fleet epoch is read before pinning so the reported epoch is a lower
+// bound on the served snapshots' freshness. No kernel scratch is taken
+// here: a cache hit answers from the generation without touching the
+// arena pool.
+func (e *Executor) checkout() (*pinSet, uint64, *qcache.Gen, error) {
 	if err := e.adm.Acquire(); err != nil {
-		return nil, err
+		return nil, 0, nil, err
 	}
-	var s *scratchSet
+	var p *pinSet
 	select {
-	case s = <-e.free:
+	case p = <-e.pins:
 	default:
-		s = &scratchSet{sc: NewScratch()}
+		p = &pinSet{}
 	}
-	s.views = e.fleet.View(s.views)
-	return s, nil
+	epoch := e.fleet.Epoch()
+	p.views = e.fleet.View(p.views)
+	var gen *qcache.Gen
+	if e.cache != nil {
+		p.ids = p.ids[:0]
+		for _, g := range p.views {
+			p.ids = append(p.ids, g)
+		}
+		gen = e.cache.ForViews(p.ids, epoch)
+	}
+	return p, epoch, gen, nil
 }
 
-func (e *Executor) release(s *scratchSet) {
-	e.free <- s
+// release returns the pin before freeing the slot.
+func (e *Executor) release(p *pinSet) {
+	e.pins <- p
 	e.adm.Release()
 }
 
+// kscratch checks a kernel arena out of the pool; callers must hold an
+// admission slot, so at most MaxConcurrent arenas exist.
+func (e *Executor) kscratch() *scratchSet {
+	select {
+	case s := <-e.free:
+		return s
+	default:
+		return &scratchSet{sc: NewScratch()}
+	}
+}
+
+func (e *Executor) unscratch(s *scratchSet) { e.free <- s }
+
 // BFS runs a scatter-gather breadth-first search from src.
 func (e *Executor) BFS(src uint32) (qserve.BFSReply, error) {
-	s, err := e.checkout()
+	p, epoch, gen, err := e.checkout()
 	if err != nil {
 		return qserve.BFSReply{}, err
 	}
-	defer e.release(s)
+	defer e.release(p)
 	if int(src) >= e.fleet.NumVertices() {
 		return qserve.BFSReply{}, qserve.ErrBadVertex
 	}
-	_, reached, levels := s.sc.BFS(s.views, src)
-	return qserve.BFSReply{Src: src, Reached: reached, Levels: levels, Epoch: e.fleet.Epoch()}, nil
+	k := qcache.Key{Kind: qcache.KindBFS, A: uint64(src)}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			val = e.bfsValue(p.views, src, false)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.bfsValue(p.views, src, true), nil
+			})
+		}
+	}
+	return qserve.BFSReply{Src: src, Reached: int(val.N1), Levels: int(val.N2), Epoch: epoch}, nil
+}
+
+func (e *Executor) bfsValue(views []*csr.Graph, src uint32, keep bool) qcache.Value {
+	s := e.kscratch()
+	defer e.unscratch(s)
+	level, reached, depth := s.sc.BFS(views, src)
+	val := qcache.Value{N1: int64(reached), N2: int64(depth)}
+	if keep {
+		val.Levels = append([]int32(nil), level...)
+	}
+	return val
 }
 
 // SSSP runs sharded delta-stepping from src with arc time labels as
 // weights, like the single-shard engine (delta <= 0 derives the
 // global heuristic width).
 func (e *Executor) SSSP(src uint32, delta int64) (qserve.SSSPReply, error) {
-	s, err := e.checkout()
+	p, epoch, gen, err := e.checkout()
 	if err != nil {
 		return qserve.SSSPReply{}, err
 	}
-	defer e.release(s)
+	defer e.release(p)
 	if int(src) >= e.fleet.NumVertices() {
 		return qserve.SSSPReply{}, qserve.ErrBadVertex
 	}
-	dist := s.sc.SSSP(s.views, src, sssp.LabelWeights, delta)
-	reply := qserve.SSSPReply{Src: src, Epoch: e.fleet.Epoch()}
+	k := qcache.Key{Kind: qcache.KindSSSP, A: uint64(src), B: uint64(delta)}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			val = e.ssspValue(p.views, src, delta, false)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.ssspValue(p.views, src, delta, true), nil
+			})
+		}
+	}
+	return qserve.SSSPReply{Src: src, Reached: int(val.N1), MaxDist: val.N2, Epoch: epoch}, nil
+}
+
+func (e *Executor) ssspValue(views []*csr.Graph, src uint32, delta int64, keep bool) qcache.Value {
+	s := e.kscratch()
+	defer e.unscratch(s)
+	dist := s.sc.SSSP(views, src, sssp.LabelWeights, delta)
+	var val qcache.Value
 	for _, d := range dist {
 		if d != sssp.Inf {
-			reply.Reached++
-			if d > reply.MaxDist {
-				reply.MaxDist = d
+			val.N1++
+			if d > val.N2 {
+				val.N2 = d
 			}
 		}
 	}
-	return reply, nil
+	if keep {
+		val.Dist = append([]int64(nil), dist...)
+	}
+	return val
 }
 
 // Connected answers st-connectivity with an early-exiting
 // scatter-gather traversal from u.
 func (e *Executor) Connected(u, v uint32) (qserve.ConnReply, error) {
-	s, err := e.checkout()
+	p, epoch, gen, err := e.checkout()
 	if err != nil {
 		return qserve.ConnReply{}, err
 	}
-	defer e.release(s)
+	defer e.release(p)
 	if int(u) >= e.fleet.NumVertices() || int(v) >= e.fleet.NumVertices() {
 		return qserve.ConnReply{}, qserve.ErrBadVertex
 	}
-	reply := qserve.ConnReply{U: u, V: v, Epoch: e.fleet.Epoch()}
+	reply := qserve.ConnReply{U: u, V: v, Epoch: epoch}
 	if u == v {
 		reply.Connected, reply.Hops = true, 0
 		return reply, nil
 	}
-	hops, ok := s.sc.STConnected(s.views, u, v)
-	if ok {
-		reply.Connected, reply.Hops = true, hops
-	} else {
-		reply.Hops = -1
+	k := qcache.Key{Kind: qcache.KindConnected, A: uint64(u), B: uint64(v)}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			val = e.connValue(p.views, u, v)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.connValue(p.views, u, v), nil
+			})
+		}
 	}
+	reply.Connected, reply.Hops = val.Flag, int32(val.N1)
 	return reply, nil
+}
+
+func (e *Executor) connValue(views []*csr.Graph, u, v uint32) qcache.Value {
+	s := e.kscratch()
+	defer e.unscratch(s)
+	if hops, ok := s.sc.STConnected(views, u, v); ok {
+		return qcache.Value{Flag: true, N1: int64(hops)}
+	}
+	return qcache.Value{N1: -1}
 }
 
 // Components labels weakly-connected components by cross-shard label
 // merge; the label array and census are pool-owned.
 func (e *Executor) Components() (qserve.ComponentsReply, error) {
-	s, err := e.checkout()
+	p, epoch, gen, err := e.checkout()
 	if err != nil {
 		return qserve.ComponentsReply{}, err
 	}
-	defer e.release(s)
-	comp := s.sc.Components(s.views)
+	defer e.release(p)
+	k := qcache.Key{Kind: qcache.KindComponents}
+	val, ok := gen.Lookup(k)
+	if !ok {
+		if gen == nil {
+			val = e.componentsValue(p.views, false)
+		} else {
+			val, _ = gen.Do(k, func() (qcache.Value, error) {
+				return e.componentsValue(p.views, true), nil
+			})
+		}
+	}
+	return qserve.ComponentsReply{Components: int(val.N1), LargestSize: int(val.N2), Epoch: epoch}, nil
+}
+
+func (e *Executor) componentsValue(views []*csr.Graph, keep bool) qcache.Value {
+	s := e.kscratch()
+	defer e.unscratch(s)
+	comp := s.sc.Components(views)
 	s.sizes = cc.CensusInto(1, comp, s.sizes)
 	_, size := cc.LargestOf(1, s.sizes)
-	return qserve.ComponentsReply{
-		Components:  cc.Count(comp),
-		LargestSize: size,
-		Epoch:       e.fleet.Epoch(),
-	}, nil
+	val := qcache.Value{N1: int64(cc.Count(comp)), N2: int64(size)}
+	if keep {
+		val.Labels = append([]uint32(nil), comp...)
+	}
+	return val
 }
 
 // Stats fans out over the shards, bypassing admission like the
@@ -201,13 +333,19 @@ func (e *Executor) Stats() qserve.StatsReply {
 	for _, g := range views {
 		bytes += g.SizeBytes()
 	}
+	ctr := e.cache.Counters()
 	return qserve.StatsReply{
-		Vertices:  st.Vertices,
-		Arcs:      st.Arcs,
-		MaxDegree: st.MaxDegree,
-		Epoch:     epoch,
-		Staleness: e.fleet.Staleness(),
-		SizeBytes: bytes,
-		Format:    "plain",
+		Vertices:       st.Vertices,
+		Arcs:           st.Arcs,
+		MaxDegree:      st.MaxDegree,
+		Epoch:          epoch,
+		Staleness:      e.fleet.Staleness(),
+		SizeBytes:      bytes,
+		Format:         "plain",
+		CacheHits:      ctr.Hits,
+		CacheMisses:    ctr.Misses,
+		Coalesced:      ctr.Coalesced,
+		CacheBytes:     ctr.Bytes,
+		CacheEvictions: ctr.Evictions,
 	}
 }

@@ -331,3 +331,90 @@ func TestEpochMonotonePerShard(t *testing.T) {
 		t.Fatalf("fleet epoch after full refresh = %d, want %d", got, want)
 	}
 }
+
+// TestCachedExecutorParity runs the fleet executor with the result
+// cache on: hits must answer bit-identically to the uncached executor
+// over the same fleet, a full fleet refresh must retire the generation
+// (elementwise per-shard view identity), and the hit path must not
+// allocate.
+func TestCachedExecutorParity(t *testing.T) {
+	n, ups := testUpdates(t, 9, 8, 13)
+	f := testFleet(n, 4, ups)
+	plain := NewExecutor(f, qserve.Config{MaxConcurrent: 1})
+	cached := NewExecutor(f, qserve.Config{MaxConcurrent: 1, CacheBytes: 32 << 20})
+
+	check := func(src uint32) {
+		t.Helper()
+		wb, err1 := plain.BFS(src)
+		var cb qserve.BFSReply
+		var err2 error
+		for i := 0; i < 2; i++ { // second round answers from the cache
+			cb, err2 = cached.BFS(src)
+		}
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cb.Reached != wb.Reached || cb.Levels != wb.Levels {
+			t.Fatalf("cached BFS(%d) = %+v, uncached %+v", src, cb, wb)
+		}
+		ws, err1 := plain.SSSP(src, 0)
+		var cs qserve.SSSPReply
+		for i := 0; i < 2; i++ {
+			cs, err2 = cached.SSSP(src, 0)
+		}
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cs.Reached != ws.Reached || cs.MaxDist != ws.MaxDist {
+			t.Fatalf("cached SSSP(%d) = %+v, uncached %+v", src, cs, ws)
+		}
+		wc, err1 := plain.Connected(src, (src+3)%uint32(n))
+		var cn qserve.ConnReply
+		for i := 0; i < 2; i++ {
+			cn, err2 = cached.Connected(src, (src+3)%uint32(n))
+		}
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if cn.Connected != wc.Connected || cn.Hops != wc.Hops {
+			t.Fatalf("cached Connected(%d) = %+v, uncached %+v", src, cn, wc)
+		}
+	}
+	check(3)
+	check(101)
+	ctr := cached.Cache().Counters()
+	if ctr.Hits == 0 || ctr.Misses == 0 {
+		t.Fatalf("cached executor saw no cache traffic: %+v", ctr)
+	}
+	gen := cached.Cache().Current()
+	if gen == nil || gen.Len() == 0 {
+		t.Fatal("no live generation after cached queries")
+	}
+
+	// Hit path allocates nothing — the scatter-gather pin set is pooled
+	// and the cached value answers without touching the kernel arena.
+	if a := testing.AllocsPerRun(30, func() {
+		if _, err := cached.BFS(3); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 0 {
+		t.Fatalf("sharded cache-hit BFS allocates %.1f objects/op, want 0", a)
+	}
+
+	// A fleet refresh swaps per-shard views: identity is elementwise, so
+	// the generation retires and the same query recomputes — matching a
+	// fresh uncached run on the new fleet state.
+	f.Ingest(2, []edge.Update{
+		{Edge: edge.Edge{U: 3, V: uint32(n - 1), T: 2000}, Op: edge.Insert},
+		{Edge: edge.Edge{U: uint32(n - 1), V: 3, T: 2000}, Op: edge.Insert},
+	})
+	f.Refresh(2)
+	misses := cached.Cache().Counters().Misses
+	check(3)
+	if cached.Cache().Current() == gen {
+		t.Fatal("generation survived a fleet refresh")
+	}
+	if got := cached.Cache().Counters().Misses; got <= misses {
+		t.Fatalf("post-refresh queries did not miss: %d then %d", misses, got)
+	}
+}

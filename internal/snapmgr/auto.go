@@ -74,6 +74,16 @@ type Metrics struct {
 	// name — the per-format memory accounting operators read off /stats.
 	SnapshotBytes int64
 	Format        string
+	// CacheHits..CacheBytes describe the serving layer's
+	// snapshot-identity result cache (internal/qcache); all zero when
+	// caching is disabled. The manager itself never touches them — the
+	// executor overlays its cache counters so one Metrics value carries
+	// the whole pipeline's health.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheCoalesced uint64
+	CacheEvictions uint64
+	CacheBytes     int64
 }
 
 // Ingest runs fn(store) under the ingest side of the refresh gate:

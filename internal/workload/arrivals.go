@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"time"
+
+	"snapdyn/internal/xrand"
+)
+
+// Arrivals is a bursty open-loop arrival process: an on-off modulated
+// Poisson stream. In the off (calm) state arrivals are Poisson at
+// Rate; in the on (burst) state at Rate*Burst; the process holds each
+// state for an exponentially distributed duration (OnMean / OffMean)
+// and alternates. Burst <= 1 degenerates to plain Poisson at Rate.
+//
+// Open-loop means the gaps are drawn independently of service times:
+// the driver sends on schedule whether or not the server has caught
+// up, which is what exposes queueing collapse — a closed loop would
+// politely slow down and hide it.
+type Arrivals struct {
+	rate    float64
+	burst   float64
+	onMean  time.Duration
+	offMean time.Duration
+
+	rng  *xrand.State
+	on   bool
+	left time.Duration // remaining holding time in the current state
+}
+
+// NewArrivals builds a process with base rate arrivals/second. rate
+// must be positive; burst <= 1 or non-positive holding means disables
+// bursting.
+func NewArrivals(rate, burst float64, onMean, offMean time.Duration, seed uint64) *Arrivals {
+	if rate <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	a := &Arrivals{rate: rate, burst: burst, onMean: onMean, offMean: offMean,
+		rng: xrand.New(seed)}
+	if burst <= 1 || onMean <= 0 || offMean <= 0 {
+		a.burst = 0 // plain Poisson
+	} else {
+		a.left = a.exp(offMean) // start calm
+	}
+	return a
+}
+
+// exp draws an exponential duration with the given mean.
+func (a *Arrivals) exp(mean time.Duration) time.Duration {
+	u := a.rng.Float64()
+	return time.Duration(-math.Log(1-u) * float64(mean))
+}
+
+// Next returns the gap before the next arrival, advancing the on-off
+// state by the gap (state flips land on arrival boundaries — a
+// harness-grade approximation of the continuous process).
+func (a *Arrivals) Next() time.Duration {
+	r := a.rate
+	if a.burst > 1 {
+		if a.on {
+			r *= a.burst
+		}
+		for a.left <= 0 {
+			a.on = !a.on
+			if a.on {
+				a.left += a.exp(a.onMean)
+			} else {
+				a.left += a.exp(a.offMean)
+			}
+		}
+	}
+	gap := a.exp(time.Duration(float64(time.Second) / r))
+	a.left -= gap
+	return gap
+}

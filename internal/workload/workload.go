@@ -1,0 +1,264 @@
+// Package workload models the serving layer's traffic: skewed source
+// popularity (Zipf with tunable exponent, including the s < 1 range
+// math/rand's sampler refuses), a weighted query-type mix, and bursty
+// open-loop arrivals (an on-off modulated Poisson process), all
+// deterministically seeded through internal/xrand so a benchmark run
+// is reproducible bit-for-bit from its seed.
+//
+// It also owns the query-trace wire format: a Recorder tees every
+// query a live snapserve receives into a JSONL trace file
+// (qserve.QueryRecorder), and ReadTrace + Apply replay a captured
+// trace against any qserve.Engine — the record/replay loop that makes
+// a production regression reproducible from its traffic.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"snapdyn/internal/qserve"
+	"snapdyn/internal/xrand"
+)
+
+// Op is one query in wire form — one JSONL line of a trace.
+type Op struct {
+	Kind string `json:"kind"` // "bfs", "sssp", "connected", "components"
+	U    uint32 `json:"u,omitempty"`
+	V    uint32 `json:"v,omitempty"`
+	// Delta is the SSSP bucket width (0 = the engine's heuristic
+	// default — the serving-friendly choice, see qserve.SSSP).
+	Delta int64 `json:"delta,omitempty"`
+}
+
+// Mix weighs the query types. Zero-valued fields get no traffic; an
+// all-zero Mix defaults to DefaultMix.
+type Mix struct {
+	BFS        float64
+	SSSP       float64
+	Connected  float64
+	Components float64
+}
+
+// DefaultMix is a read-heavy analysis profile: mostly BFS-shaped
+// lookups, some weighted distance queries, occasional pair checks,
+// and a rare full-graph component census.
+var DefaultMix = Mix{BFS: 0.55, SSSP: 0.25, Connected: 0.18, Components: 0.02}
+
+func (m Mix) total() float64 { return m.BFS + m.SSSP + m.Connected + m.Components }
+
+// Config parameterizes a generator.
+type Config struct {
+	// Vertices is the id space queries draw sources from.
+	Vertices int
+	// ZipfS is the popularity exponent: vertex of popularity rank k is
+	// drawn with probability proportional to 1/k^s. 0 is uniform; 0.8
+	// is web-like; 1.2 concentrates most traffic on a few hot sources.
+	// Any s >= 0 is accepted (math/rand.Zipf requires s > 1; skewed
+	// serving traffic lives on both sides of 1).
+	ZipfS float64
+	// Mix weighs the query types (zero value = DefaultMix).
+	Mix Mix
+	// Seed makes the stream deterministic; same seed, same queries.
+	Seed uint64
+}
+
+// Generator draws a deterministic stream of queries. Not safe for
+// concurrent use: give each load goroutine its own (Split derives an
+// independent child stream).
+type Generator struct {
+	cfg  Config
+	rng  *xrand.State
+	cum  []float64 // Zipf rank CDF; nil when uniform
+	rank []uint32  // popularity rank -> vertex id
+	mix  [4]float64
+}
+
+// NewGenerator builds a generator. The Zipf CDF is one table of
+// len = Vertices shared by every Split child.
+func NewGenerator(cfg Config) *Generator {
+	if cfg.Vertices <= 0 {
+		panic("workload: Vertices must be positive")
+	}
+	if cfg.Mix.total() <= 0 {
+		cfg.Mix = DefaultMix
+	}
+	g := &Generator{cfg: cfg, rng: xrand.New(cfg.Seed)}
+	t := cfg.Mix.total()
+	g.mix[0] = cfg.Mix.BFS / t
+	g.mix[1] = g.mix[0] + cfg.Mix.SSSP/t
+	g.mix[2] = g.mix[1] + cfg.Mix.Connected/t
+	g.mix[3] = 1
+	if cfg.ZipfS > 0 {
+		n := cfg.Vertices
+		g.cum = make([]float64, n)
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += math.Pow(float64(k+1), -cfg.ZipfS)
+			g.cum[k] = sum
+		}
+		for k := range g.cum {
+			g.cum[k] /= sum
+		}
+		// Which vertices are hot is an arbitrary property of the graph:
+		// scatter the popularity ranks over the id space so rank 1 is
+		// not always vertex 0.
+		perm := make([]int, n)
+		g.rng.Perm(perm)
+		g.rank = make([]uint32, n)
+		for k, v := range perm {
+			g.rank[k] = uint32(v)
+		}
+	}
+	return g
+}
+
+// Split derives an independent generator sharing the popularity tables
+// — one per load goroutine, deterministic regardless of scheduling.
+func (g *Generator) Split() *Generator {
+	ng := *g
+	ng.rng = g.rng.Split()
+	return &ng
+}
+
+// source draws one vertex by popularity.
+func (g *Generator) source() uint32 {
+	if g.cum == nil {
+		return g.rng.Uint32n(uint32(g.cfg.Vertices))
+	}
+	u := g.rng.Float64()
+	k := sort.SearchFloat64s(g.cum, u)
+	if k >= len(g.rank) {
+		k = len(g.rank) - 1
+	}
+	return g.rank[k]
+}
+
+// Next draws the next query.
+func (g *Generator) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.mix[0]:
+		return Op{Kind: "bfs", U: g.source()}
+	case r < g.mix[1]:
+		return Op{Kind: "sssp", U: g.source()}
+	case r < g.mix[2]:
+		return Op{Kind: "connected", U: g.source(), V: g.source()}
+	default:
+		return Op{Kind: "components"}
+	}
+}
+
+// Apply runs op against the engine, returning the reply epoch. Unknown
+// kinds are an error (a trace from a newer build), engine errors pass
+// through (shed and stale are the caller's business).
+func Apply(eng qserve.Engine, op Op) (uint64, error) {
+	switch op.Kind {
+	case "bfs":
+		r, err := eng.BFS(op.U)
+		return r.Epoch, err
+	case "sssp":
+		r, err := eng.SSSP(op.U, op.Delta)
+		return r.Epoch, err
+	case "connected":
+		r, err := eng.Connected(op.U, op.V)
+		return r.Epoch, err
+	case "components":
+		r, err := eng.Components()
+		return r.Epoch, err
+	default:
+		return 0, fmt.Errorf("workload: unknown op kind %q", op.Kind)
+	}
+}
+
+// Recorder tees queries into a JSONL trace file. It implements
+// qserve.QueryRecorder; install with Server.SetRecorder. Writes are
+// buffered and serialized; Close flushes (graceful shutdown must call
+// it, or the trace tail is lost with the buffer).
+type Recorder struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewRecorder creates (truncates) the trace file at path.
+func NewRecorder(path string) (*Recorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	return &Recorder{f: f, w: w, enc: json.NewEncoder(w)}, nil
+}
+
+// RecordQuery appends one query to the trace. The first write error
+// sticks and silences the rest (Close reports it): tracing must never
+// take down serving.
+func (r *Recorder) RecordQuery(kind string, u, v uint32, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	if err := r.enc.Encode(Op{Kind: kind, U: u, V: v, Delta: delta}); err != nil {
+		r.err = err
+		return
+	}
+	r.n++
+}
+
+// Len reports the number of queries recorded so far.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Close flushes and closes the trace, reporting the first error the
+// recorder hit.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.err
+	if e := r.w.Flush(); err == nil {
+		err = e
+	}
+	if e := r.f.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// ReadTrace loads a JSONL trace written by Recorder.
+func ReadTrace(path string) ([]Op, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ops []Op
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var op Op
+		if err := json.Unmarshal(line, &op); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", len(ops)+1, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}

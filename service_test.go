@@ -252,3 +252,71 @@ func BenchmarkServiceQuery(b *testing.B) {
 		b.ReportMetric(arcs*float64(b.N)/b.Elapsed().Seconds()/1e6, "MTEPS")
 	})
 }
+
+// BenchmarkCachedBFS prices the snapshot-identity result cache at the
+// acceptance scale, as a hit/miss pair. The hit variant repeats one hot
+// source against a warm, generously budgeted cache: steady state must
+// run the kernel zero times and allocate zero objects per op. The miss
+// variant cycles more sources than the starved budget can hold, so
+// every op recomputes and pays the eviction bookkeeping on top of the
+// kernel — the two bounds that bracket any real hit rate.
+func BenchmarkCachedBFS(b *testing.B) {
+	const scale = 16
+	n := 1 << scale
+	edges, err := GenerateRMAT(0, PaperRMAT(scale, 10*n, 100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := New(n, WithExpectedEdges(4*len(edges)), Undirected())
+	g.InsertEdges(0, edges)
+	sm := g.Manager(0)
+	srcs := sm.Current().SampleSources(64, 1)
+	arcs := float64(sm.Current().NumEdges())
+
+	b.Run("hit", func(b *testing.B) {
+		ex := executorFor(sm, qserve.Config{Undirected: true, MaxConcurrent: 1,
+			CacheBytes: 256 << 20})
+		for i := 0; i < 2; i++ {
+			if _, err := ex.BFS(srcs[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.BFS(srcs[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := ex.Stats()
+		if st.CacheHits < uint64(b.N) {
+			b.Fatalf("hit variant missed: %d hits for %d ops", st.CacheHits, b.N)
+		}
+		b.ReportMetric(arcs*float64(b.N)/b.Elapsed().Seconds()/1e6, "MTEPS")
+	})
+	b.Run("miss", func(b *testing.B) {
+		// A budget that holds only a couple of level arrays: cycling 64
+		// sources guarantees every op recomputes and evicts.
+		ex := executorFor(sm, qserve.Config{Undirected: true, MaxConcurrent: 1,
+			CacheBytes: 1 << 20})
+		if _, err := ex.BFS(srcs[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		// Offset by one: the first timed op must not collide with the
+		// warm-up entry while it is still resident.
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.BFS(srcs[(i+1)%len(srcs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := ex.Stats()
+		if st.CacheMisses < uint64(b.N) {
+			b.Fatalf("miss variant hit: %d misses for %d ops", st.CacheMisses, b.N)
+		}
+		b.ReportMetric(arcs*float64(b.N)/b.Elapsed().Seconds()/1e6, "MTEPS")
+	})
+}
