@@ -41,20 +41,35 @@
 // running scatter-gather across the shards' pinned snapshots — same
 // endpoints, same wire format.
 //
-// Endpoints:
+// With -live the daemon additionally maintains a dynamic spanning
+// forest fed synchronously by the ingest path (per-shard forests
+// joined by a merged union-find when sharded), so
+// /query/connected?u=N&v=M&live=1 answers from the update stream
+// without waiting for the next snapshot refresh.
+//
+// Endpoints (every query kind in the registry is served at both
+// /query/<kind>, flat legacy replies, and /v1/query/<kind>, typed
+// envelope with kind, epoch, cache disposition, and structured error
+// codes):
 //
 //	POST /ingest            JSON [{"u":1,"v":2,"t":3,"op":"insert"}, ...]
 //	GET  /query/bfs?src=N
 //	GET  /query/sssp?src=N&delta=D
-//	GET  /query/connected?u=N&v=M
+//	GET  /query/connected?u=N&v=M[&live=1]
 //	GET  /query/components
+//	GET  /query/clustering
+//	GET  /query/khop?src=N&k=K
+//	GET  /query/pagerank[?tol=T]
 //	GET  /stats
 //	GET  /healthz           epoch, staleness, refresh + admission metrics
+//	POST /v1/jobs/betweenness[?samples=S&seed=R&topk=K]   offline job, 202 + id
+//	GET  /v1/jobs/{id}      poll job progress/result
 //
 // Example:
 //
 //	snapserve -scale 16 -addr :8080 &
 //	curl 'localhost:8080/query/bfs?src=0'
+//	curl 'localhost:8080/v1/query/pagerank?tol=1e-8'
 //	curl -X POST -d '[{"u":1,"v":2,"t":9}]' localhost:8080/ingest
 //	curl localhost:8080/healthz
 package main
@@ -102,6 +117,11 @@ type config struct {
 	refreshDirty int
 	refreshAge   time.Duration
 	refreshPoll  time.Duration
+
+	// live enables the between-refresh connectivity index: a dynamic
+	// spanning forest fed by the ingest path, serving
+	// /query/connected?...&live=1 from the update stream.
+	live bool
 
 	// cacheBytes budgets the per-snapshot result cache (0 disables —
 	// every query recomputes).
@@ -231,6 +251,9 @@ func buildStack(cfg config) (*service, error) {
 		df.Start(policy)
 		ex := shard.NewExecutor(df.Fleet, qcfg)
 		ex.SetIngest(df.Ingest)
+		if cfg.live {
+			ex.EnableLive()
+		}
 		var rec string
 		for s, info := range infos {
 			if info.Recovered {
@@ -254,6 +277,9 @@ func buildStack(cfg config) (*service, error) {
 		fleet.Refresh(cfg.workers)
 		fleet.Start(policy)
 		ex := shard.NewExecutor(fleet, qcfg)
+		if cfg.live {
+			ex.EnableLive()
+		}
 		return &service{
 			ex:   ex,
 			srv:  qserve.NewServer(ex, cfg.undirected, cfg.workers),
@@ -274,6 +300,9 @@ func buildStack(cfg config) (*service, error) {
 		d.Manager().Start(policy)
 		ex := qserve.New(d.Manager(), qcfg)
 		ex.SetIngest(d.Ingest)
+		if cfg.live {
+			ex.EnableLive()
+		}
 		var rec string
 		if info.Recovered {
 			rec = fmt.Sprintf("recovered LSN %d (ckpt %d, %d replayed, torn=%v) in %v",
@@ -293,6 +322,9 @@ func buildStack(cfg config) (*service, error) {
 	mgr := snapmgr.New(cfg.workers, store)
 	mgr.Start(policy)
 	ex := qserve.New(mgr, qcfg)
+	if cfg.live {
+		ex.EnableLive()
+	}
 	return &service{
 		ex:   ex,
 		srv:  qserve.NewServer(ex, cfg.undirected, cfg.workers),
@@ -323,6 +355,7 @@ func main() {
 		refDirty   = flag.Int("refresh-dirty", 4096, "auto-refresh when this many vertices are dirty")
 		refAge     = flag.Duration("refresh-age", 500*time.Millisecond, "auto-refresh when the snapshot is this stale with updates pending")
 		refPoll    = flag.Duration("refresh-poll", 0, "auto-refresh trigger poll interval (0 = derived)")
+		live       = flag.Bool("live", false, "maintain a live connectivity forest on the ingest path (serves connected?live=1)")
 		walDir     = flag.String("wal-dir", "", "durable ingest: WAL + checkpoint directory (per-shard subdirs when sharded); empty = volatile")
 		ckptEvery  = flag.Uint64("checkpoint-every", 1<<20, "checkpoint after this many committed updates per log (0 = only on clean shutdown)")
 		batchMax   = flag.Int("batch-max", 0, "group-commit flush size (0 = default)")
@@ -346,6 +379,7 @@ func main() {
 		refreshDirty: *refDirty,
 		refreshAge:   *refAge,
 		refreshPoll:  *refPoll,
+		live:         *live,
 		cacheBytes:   *cacheB,
 		recordPath:   *record,
 		walDir:       *walDir,

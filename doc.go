@@ -92,6 +92,35 @@
 //     hits bypass kernel scratch entirely (0 allocs/op steady state,
 //     asserted) and still honor minEpoch: freshness gating runs before
 //     the lookup, so a hit on a stale snapshot is still refused.
+//   - A registry-based query surface (internal/qserve/registry.go):
+//     every query kind is one registered Spec — wire name, parameter
+//     decoding, cache-key derivation, kernel dispatch, reply encoding —
+//     and the HTTP route table, the generic Query entry point on both
+//     engines, and the cache keyspace are all derived from that
+//     catalog, so adding a kind is one registration, not a stack of
+//     parallel switch statements. Alongside BFS/SSSP/connectivity/
+//     components, the catalog serves clustering coefficients and
+//     triangle counts (internal/cluster, merge-intersection over
+//     dedup-sorted adjacency, float mean folded in original-id order so
+//     it is bitwise-identical across layouts and shard counts), k-hop
+//     neighborhood size (depth-truncated BFS), and PageRank on the
+//     traversal engine's Relax mode (push-residual; the fleet solves by
+//     power iteration, so PageRank is the one documented cross-engine
+//     tolerance-band exception to bit-identity). All ride the pooled
+//     scratch and cache paths at 0 allocs/op steady state, asserted.
+//     GET /v1/query/<kind> wraps replies in a typed envelope
+//     {kind, epoch, cache, data} with structured error codes; the flat
+//     /query/<kind> routes remain as pinned aliases. Between-refresh
+//     connectivity (connected?live=1, after EnableLive / snapserve
+//     -live) answers from a dynamic spanning forest the ingest path
+//     updates synchronously — per-shard forests joined by label merge
+//     on the fleet — proving connectivity without hop counts, never
+//     cached, and asserted to agree exactly with the next published
+//     snapshot's components under randomized churn including tree-edge
+//     deletions. Sampled betweenness runs as an offline job
+//     (POST /v1/jobs/betweenness, progress polled at /v1/jobs/{id});
+//     jobs waive the zero-alloc guarantee and require a resident global
+//     CSR (compressed layouts fail the job, fleets answer 501).
 //   - A vertex-partitioned sharding layer behind the same facade
 //     (NewSharded, internal/shard): vertex u is owned by shard u % P,
 //     and each of the P shard workers runs its own Tracked store +

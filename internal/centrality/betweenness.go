@@ -20,6 +20,8 @@
 package centrality
 
 import (
+	"sync/atomic"
+
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/par"
@@ -45,6 +47,11 @@ type Options struct {
 	// push/pull hybrid, which requires a symmetric graph (and symmetric
 	// time labels when Temporal is set) exactly as it does for BFS.
 	Strategy traversal.Strategy
+	// Progress, when set, is called after each completed source
+	// traversal with the number of sources finished so far and the
+	// total — the polling hook for offline jobs. It is called from
+	// worker goroutines and must be safe for concurrent use.
+	Progress func(done, total int)
 }
 
 // SampleSources draws k distinct random vertices of g, preferring
@@ -114,11 +121,15 @@ func Betweenness(workers int, g *csr.Graph, opt Options) []float64 {
 		workers = len(sources)
 	}
 	partial := make([][]float64, workers)
+	var done atomic.Int64
 	par.Workers(workers, func(id int) {
 		bc := make([]float64, g.N)
 		st := newBrandesState(g.N)
 		for i := id; i < len(sources); i += workers {
 			st.run(g, sources[i], opt, bc)
+			if opt.Progress != nil {
+				opt.Progress(int(done.Add(1)), len(sources))
+			}
 		}
 		partial[id] = bc
 	})

@@ -42,6 +42,9 @@ const (
 	KindSSSP
 	KindConnected
 	KindComponents
+	KindClustering
+	KindKHop
+	KindPageRank
 )
 
 // Key identifies one cached query within a generation: the query kind
@@ -52,19 +55,22 @@ type Key struct {
 	A, B uint64
 }
 
-// Value is one immutable cached result. N1/N2 and Flag carry the
-// reply aggregates (interpreted per kind by the caller); the slices
-// hold the full kernel output — BFS levels, SSSP distances, component
-// labels — in the snapshot's own id space, both the evidence for
-// bit-identity verification and the payload a full-result endpoint
-// would serve. Slices are shared between the cache and every hit:
-// they must never be mutated after Store/Do returns them.
+// Value is one immutable cached result. N1/N2, F1/F2, and Flag carry
+// the reply aggregates (interpreted per kind by the caller); the
+// slices hold the full kernel output — BFS levels, SSSP distances,
+// component labels, triangle counts (Dist again), PageRank scores —
+// in the snapshot's own id space, both the evidence for bit-identity
+// verification and the payload a full-result endpoint would serve.
+// Slices are shared between the cache and every hit: they must never
+// be mutated after Store/Do returns them.
 type Value struct {
 	N1, N2 int64
+	F1, F2 float64
 	Flag   bool
 	Levels []int32
 	Dist   []int64
 	Labels []uint32
+	Ranks  []float64
 }
 
 // entryOverhead approximates the fixed per-entry footprint (entry
@@ -74,7 +80,8 @@ const entryOverhead = 160
 
 // bytes is the budget charge for a value.
 func (v Value) bytes() int64 {
-	return entryOverhead + 4*int64(len(v.Levels)) + 8*int64(len(v.Dist)) + 4*int64(len(v.Labels))
+	return entryOverhead + 4*int64(len(v.Levels)) + 8*int64(len(v.Dist)) +
+		4*int64(len(v.Labels)) + 8*int64(len(v.Ranks))
 }
 
 // Counters is a point-in-time view of cache activity. Hits are

@@ -14,7 +14,16 @@ import (
 
 // Server exposes a query Engine over HTTP/JSON — the snapserve
 // daemon's handler set, engine-agnostic: the same routes serve a
-// single-snapshot Executor or a sharded fleet. Query endpoints go
+// single-snapshot Executor or a sharded fleet.
+//
+// The query surface is generated from the kind registry: every
+// registered kind is served at GET /v1/query/<kind> with a typed
+// envelope (kind, epoch served, cache disposition, structured error
+// codes) and, for compatibility, at GET /query/<kind> with the kind's
+// flat legacy reply and string-only error body. Both routes decode,
+// record, gate, and dispatch identically; only the response framing
+// differs. /stats, /healthz, and /ingest exist at both roots too;
+// offline jobs (sampled betweenness) are v1-only. Query endpoints go
 // through the engine's admission control (503 when shed); /ingest
 // applies update batches through the engine's refresh gate(s), so it
 // is safe concurrently with background auto-refreshers; /healthz and
@@ -28,6 +37,7 @@ type Server struct {
 	ingestWorkers int
 	staleWait     time.Duration
 	rec           QueryRecorder
+	jobs          *jobTable
 }
 
 // QueryRecorder observes every well-formed query request before it is
@@ -47,7 +57,7 @@ const DefaultStaleWait = 2 * time.Second
 // batch application; undirected mirrors every ingested update.
 func NewServer(eng Engine, undirected bool, ingestWorkers int) *Server {
 	return &Server{eng: eng, undirected: undirected, ingestWorkers: ingestWorkers,
-		staleWait: DefaultStaleWait}
+		staleWait: DefaultStaleWait, jobs: newJobTable()}
 }
 
 // SetStaleWait overrides the minEpoch wait bound (tests use short
@@ -63,17 +73,71 @@ func (s *Server) record(kind string, u, v uint32, delta int64) {
 	}
 }
 
-// Handler returns the route table.
+// Handler returns the route table, generated from the kind registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /query/bfs", s.handleBFS)
-	mux.HandleFunc("GET /query/sssp", s.handleSSSP)
-	mux.HandleFunc("GET /query/connected", s.handleConnected)
-	mux.HandleFunc("GET /query/components", s.handleComponents)
+	for _, sp := range Specs() {
+		mux.HandleFunc("GET /query/"+sp.Name(), s.queryHandler(sp, false))
+		mux.HandleFunc("GET /v1/query/"+sp.Name(), s.queryHandler(sp, true))
+	}
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/jobs/betweenness", s.handleJobStart)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	return mux
+}
+
+// Envelope is the v1 query response frame: the kind that answered, the
+// epoch lower bound served, how the cache was involved ("hit", "miss",
+// "bypass", or "live"), and the kind's reply as data.
+type Envelope struct {
+	Kind  string `json:"kind"`
+	Epoch uint64 `json:"epoch"`
+	Cache string `json:"cache"`
+	Data  any    `json:"data"`
+}
+
+// queryHandler builds the handler for one registered kind: decode →
+// record → minEpoch gate → engine dispatch → encode, identical on both
+// routes; v1 selects the envelope framing and structured errors.
+func (s *Server) queryHandler(sp *Spec, v1 bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		a, err := sp.Decode(r.URL.Query())
+		if err != nil {
+			s.fail(w, v1, err)
+			return
+		}
+		ru, rv, delta := sp.Record(a)
+		s.record(sp.Name(), ru, rv, delta)
+		if err := s.waitMinEpoch(r); err != nil {
+			s.fail(w, v1, err)
+			return
+		}
+		res, err := s.eng.Query(sp, a)
+		if err != nil {
+			s.fail(w, v1, err)
+			return
+		}
+		body := sp.Encode(a, res)
+		if v1 {
+			writeJSON(w, Envelope{Kind: sp.Name(), Epoch: res.Epoch,
+				Cache: res.Cache.String(), Data: body})
+			return
+		}
+		writeJSON(w, body)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, v1 bool, err error) {
+	if v1 {
+		v1Error(w, err)
+		return
+	}
+	httpError(w, err)
 }
 
 // IngestUpdate is the wire form of one structural update.
@@ -123,90 +187,6 @@ func (s *Server) waitMinEpoch(r *http.Request) error {
 		return fmt.Errorf("%w: epoch %d not published within %v", ErrStale, min, s.staleWait)
 	}
 	return nil
-}
-
-func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
-	src, err := queryUint32(r, "src")
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	s.record("bfs", src, 0, 0)
-	if err := s.waitMinEpoch(r); err != nil {
-		httpError(w, err)
-		return
-	}
-	reply, err := s.eng.BFS(src)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	writeJSON(w, reply)
-}
-
-func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
-	src, err := queryUint32(r, "src")
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	var delta int64
-	if v := r.URL.Query().Get("delta"); v != "" {
-		delta, err = strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			httpError(w, badParam("delta", err))
-			return
-		}
-	}
-	s.record("sssp", src, 0, delta)
-	if err := s.waitMinEpoch(r); err != nil {
-		httpError(w, err)
-		return
-	}
-	reply, err := s.eng.SSSP(src, delta)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	writeJSON(w, reply)
-}
-
-func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
-	u, err := queryUint32(r, "u")
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	v, err := queryUint32(r, "v")
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	s.record("connected", u, v, 0)
-	if err := s.waitMinEpoch(r); err != nil {
-		httpError(w, err)
-		return
-	}
-	reply, err := s.eng.Connected(u, v)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	writeJSON(w, reply)
-}
-
-func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
-	s.record("components", 0, 0, 0)
-	if err := s.waitMinEpoch(r); err != nil {
-		httpError(w, err)
-		return
-	}
-	reply, err := s.eng.Components()
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	writeJSON(w, reply)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -277,32 +257,47 @@ func badParam(name string, err error) error {
 	return errBadRequest{fmt.Errorf("bad %s: %w", name, err)}
 }
 
-func queryUint32(r *http.Request, name string) (uint32, error) {
-	v := r.URL.Query().Get(name)
-	if v == "" {
-		return 0, badParam(name, errors.New("missing"))
-	}
-	u, err := strconv.ParseUint(v, 10, 32)
-	if err != nil {
-		return 0, badParam(name, err)
-	}
-	return uint32(u), nil
-}
+var (
+	errNotPositive = errors.New("want a positive integer")
+	errUnknownJob  = errors.New("unknown job id")
+)
 
-func httpError(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+// errStatus maps an error to its HTTP status and v1 error code.
+func errStatus(err error) (int, string) {
 	var bad errBadRequest
 	switch {
-	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrStale):
-		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, ErrStale):
+		return http.StatusServiceUnavailable, "stale"
 	case errors.Is(err, ErrBadVertex):
-		code = http.StatusBadRequest
+		return http.StatusBadRequest, "bad_vertex"
 	case errors.As(err, &bad):
-		code = http.StatusBadRequest
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, ErrUnsupported):
+		return http.StatusNotImplemented, "unsupported"
+	default:
+		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// httpError writes the legacy error body: {"error": "<message>"}.
+func httpError(w http.ResponseWriter, err error) {
+	code, _ := errStatus(err)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// v1Error writes the structured v1 error body:
+// {"error": {"code": "...", "message": "..."}}.
+func v1Error(w http.ResponseWriter, err error) {
+	code, slug := errStatus(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]map[string]string{
+		"error": {"code": slug, "message": err.Error()},
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

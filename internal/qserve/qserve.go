@@ -1,9 +1,28 @@
 // Package qserve is the query-serving layer over the incremental
 // snapshot pipeline: a fixed-capacity executor pool that runs analysis
-// queries (BFS, delta-stepping SSSP, st-connectivity, connected
-// components, stats) against whatever snapshot the manager currently
-// publishes, with per-worker kernel scratch checked out from a free
-// list instead of allocated per request.
+// queries against whatever snapshot the manager currently publishes,
+// with per-worker kernel scratch checked out from a free list instead
+// of allocated per request.
+//
+// Query kinds are registered, not hand-plumbed: each kind appears once
+// in this package's registry (see registry.go) with its wire name,
+// parameter decoding, cache-key derivation, kernel, and reply encoding,
+// and the generic (*Executor).Query path runs every kind through the
+// same admission, validation, caching, and scratch-pooling flow. The
+// registered kinds are BFS, delta-stepping SSSP, st-connectivity
+// (snapshot or live), connected components, clustering coefficients,
+// k-hop neighborhood size, and PageRank; stats and the offline sampled
+// betweenness job sit beside the registry (no caching, no admission
+// semantics to share).
+//
+// Consistency comes in two models. Snapshot queries answer from the
+// immutable published view — repeatable until the next refresh, and
+// cacheable by snapshot identity. Live st-connectivity (Connected with
+// live=1 after EnableLive) answers from a dynamic spanning forest
+// maintained synchronously by the ingest path, so it observes updates
+// the next snapshot has not published yet; at quiesce — after a refresh
+// with no ingest racing it — the forest and the snapshot's components
+// agree exactly. Live answers are never cached.
 //
 // Admission is queue-or-shed: up to MaxConcurrent queries execute at
 // once, up to MaxQueue more wait their turn, and anything beyond that
@@ -24,6 +43,7 @@ import (
 	"time"
 
 	"snapdyn/internal/cc"
+	"snapdyn/internal/cluster"
 	"snapdyn/internal/dyngraph"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/par"
@@ -106,6 +126,39 @@ type scratchSet struct {
 	connTarget uint32
 	connHook   func(int32, int) bool
 
+	// khopK/khopReached drive the k-hop neighborhood query: a pooled
+	// level-end hook that counts discoveries through level k and stops
+	// the traversal there.
+	khopK       int32
+	khopReached int
+	khopHook    func(int32, int) bool
+
+	// clus is the triangle-counting arena (lazily built on the first
+	// clustering query, then reused across epochs — it resizes itself
+	// to the snapshot's shape). clusMap is the original-id → layout-id
+	// aggregation order, bound once over clusView so the steady-state
+	// clustering query allocates no closures.
+	clus     *cluster.Scratch
+	clusView *snapmgr.View
+	clusMap  func(uint32) uint32
+
+	// PageRank push-residual state (see kernels.go): per-vertex rank
+	// and residual (residual as float bits for atomic CAS updates), a
+	// per-frontier-vertex push amount, a level tag that lets the owner
+	// of a frontier vertex harvest its residual exactly once per
+	// round, and the all-vertices source list. The hooks are bound
+	// once so the steady-state query path allocates no closures.
+	prRank     []float64
+	prResid    []uint64
+	prPush     []float64
+	prClaim    []int32
+	prSrcs     []uint32
+	prLevel    int32
+	prTol      float64
+	prView     *snapmgr.View
+	prRelax    func(u, v, t uint32) bool
+	prLevelEnd func(int32, int) bool
+
 	// epoch is the snapshot version this set last served. Kernel
 	// scratches self-revalidate (traversal by (n, m), sssp by graph
 	// pointer), so nothing is rebuilt eagerly on an epoch change; the
@@ -118,6 +171,18 @@ func newScratchSet() *scratchSet {
 	s := &scratchSet{trav: traversal.NewScratch(), ssp: sssp.NewScratch()}
 	s.connHook = func(int32, int) bool {
 		return s.res.Level[s.connTarget] == traversal.NotVisited
+	}
+	s.khopHook = func(level int32, discovered int) bool {
+		if level <= s.khopK {
+			s.khopReached += discovered
+		}
+		return level < s.khopK
+	}
+	s.clusMap = func(orig uint32) uint32 { return translate(s.clusView, orig) }
+	s.prRelax = prRelaxStep(s)
+	s.prLevelEnd = func(level int32, discovered int) bool {
+		s.prLevel = level + 1
+		return level < prMaxLevels
 	}
 	return s
 }
@@ -138,11 +203,16 @@ type Counters struct {
 }
 
 // Engine is the query surface the HTTP server (and any other frontend)
-// serves: the five query types plus ingest, admission counters, and
-// refresh health. The single-snapshot Executor implements it, and so
-// does the sharded fleet executor in internal/shard — one facade, two
-// engines.
+// serves: the generic registry-driven Query entry point, the legacy
+// typed methods (thin wrappers over Query), plus ingest, admission
+// counters, and refresh health. The single-snapshot Executor
+// implements it, and so does the sharded fleet executor in
+// internal/shard — one facade, two engines.
 type Engine interface {
+	// Query runs one registered query kind through the engine's
+	// admission, validation, cache, and kernel-dispatch flow. Kinds an
+	// engine cannot serve fail with ErrUnsupported.
+	Query(sp *Spec, a Args) (Result, error)
 	BFS(src uint32) (BFSReply, error)
 	SSSP(src uint32, delta int64) (SSSPReply, error)
 	Connected(u, v uint32) (ConnReply, error)
@@ -178,6 +248,10 @@ type Executor struct {
 	// ingest, when set (SetIngest), replaces the direct gated apply
 	// with a durable commit path.
 	ingest func(batch []edge.Update) (uint64, error)
+
+	// live, when set (EnableLive), is the dynamic spanning forest the
+	// ingest path maintains for between-refresh connectivity queries.
+	live *Live
 }
 
 var _ Engine = (*Executor)(nil)
@@ -206,13 +280,26 @@ func (e *Executor) NumVertices() int { return e.mgr.Store().NumVertices() }
 
 // Ingest applies a batch and returns the ack epoch: by default through
 // the manager's refresh gate (volatile, synchronous), or through the
-// durable group-commit path when one is installed with SetIngest. Safe
-// concurrently with queries and the auto-refresher.
+// durable group-commit path when one is installed with SetIngest. When
+// live connectivity is enabled the same batch then updates the dynamic
+// forest, so a live query issued after this call returns observes the
+// batch without waiting for a refresh. Safe concurrently with queries
+// and the auto-refresher.
 func (e *Executor) Ingest(workers int, batch []edge.Update) (uint64, error) {
+	var epoch uint64
 	if e.ingest != nil {
-		return e.ingest(batch)
+		var err error
+		epoch, err = e.ingest(batch)
+		if err != nil {
+			return epoch, err
+		}
+	} else {
+		epoch = e.mgr.IngestEpoch(func(t *dyngraph.Tracked) { t.ApplyBatch(workers, batch) })
 	}
-	return e.mgr.IngestEpoch(func(t *dyngraph.Tracked) { t.ApplyBatch(workers, batch) }), nil
+	if e.live != nil {
+		e.live.Apply(batch)
+	}
+	return epoch, nil
 }
 
 // SetIngest installs a replacement ingest path (the durable
@@ -315,28 +402,12 @@ type BFSReply struct {
 // without touching the scratch pool, and concurrent identical misses
 // coalesce onto one kernel execution.
 func (e *Executor) BFS(src uint32) (BFSReply, error) {
-	v, epoch, gen, err := e.checkout()
+	a := Args{A: uint64(src)}
+	r, err := e.Query(SpecBFS, a)
 	if err != nil {
 		return BFSReply{}, err
 	}
-	defer e.adm.Release()
-	if int(src) >= v.NumVertices() {
-		return BFSReply{}, ErrBadVertex
-	}
-	k := qcache.Key{Kind: qcache.KindBFS, A: uint64(src)}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			// Uncached: run directly — no singleflight closure, no
-			// result copy, the original allocation-free miss path.
-			val = e.bfsValue(v, epoch, src, false)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.bfsValue(v, epoch, src, true), nil
-			})
-		}
-	}
-	return BFSReply{Src: src, Reached: int(val.N1), Levels: int(val.N2), Epoch: epoch}, nil
+	return BFSReplyFrom(a, r), nil
 }
 
 // bfsValue executes the BFS kernel against the pinned view. keep copies
@@ -382,26 +453,12 @@ type SSSPReply struct {
 // kernel (sssp.RunStream) instead of delta-stepping — distances are
 // identical; delta is ignored there (the stream kernel has no buckets).
 func (e *Executor) SSSP(src uint32, delta int64) (SSSPReply, error) {
-	v, epoch, gen, err := e.checkout()
+	a := Args{A: uint64(src), B: uint64(delta)}
+	r, err := e.Query(SpecSSSP, a)
 	if err != nil {
 		return SSSPReply{}, err
 	}
-	defer e.adm.Release()
-	if int(src) >= v.NumVertices() {
-		return SSSPReply{}, ErrBadVertex
-	}
-	k := qcache.Key{Kind: qcache.KindSSSP, A: uint64(src), B: uint64(delta)}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			val = e.ssspValue(v, epoch, src, delta, false)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.ssspValue(v, epoch, src, delta, true), nil
-			})
-		}
-	}
-	return SSSPReply{Src: src, Reached: int(val.N1), MaxDist: val.N2, Epoch: epoch}, nil
+	return SSSPReplyFrom(a, r), nil
 }
 
 // ssspValue executes the shortest-paths kernel against the pinned view;
@@ -438,41 +495,39 @@ type ConnReply struct {
 	U         uint32 `json:"u"`
 	V         uint32 `json:"v"`
 	Connected bool   `json:"connected"`
-	// Hops is the hop distance between u and v; -1 when disconnected.
+	// Hops is the hop distance between u and v; -1 when disconnected —
+	// and also -1 on the live path (u != v), where the forest proves
+	// connectivity without computing shortest paths.
 	Hops  int32  `json:"hops"`
 	Epoch uint64 `json:"epoch"`
+	// Live marks an answer served from the update-stream forest rather
+	// than a published snapshot (Epoch is then only the publication
+	// lower bound; the answer may be fresher).
+	Live bool `json:"live,omitempty"`
 }
 
 // Connected answers st-connectivity by an early-exiting traversal from
 // u: the engine's level-end hook stops as soon as v settles, so the
 // remaining levels' arcs are never inspected.
 func (e *Executor) Connected(u, v uint32) (ConnReply, error) {
-	view, epoch, gen, err := e.checkout()
+	a := Args{A: uint64(u), B: uint64(v)}
+	r, err := e.Query(SpecConnected, a)
 	if err != nil {
 		return ConnReply{}, err
 	}
-	defer e.adm.Release()
-	if int(u) >= view.NumVertices() || int(v) >= view.NumVertices() {
-		return ConnReply{}, ErrBadVertex
+	return ConnReplyFrom(a, r), nil
+}
+
+// ConnectedLive answers st-connectivity from the dynamic forest the
+// ingest path maintains — no snapshot wait, hop count unavailable.
+// ErrUnsupported until EnableLive.
+func (e *Executor) ConnectedLive(u, v uint32) (ConnReply, error) {
+	a := Args{A: uint64(u), B: uint64(v), Live: true}
+	r, err := e.Query(SpecConnected, a)
+	if err != nil {
+		return ConnReply{}, err
 	}
-	reply := ConnReply{U: u, V: v, Epoch: epoch}
-	if u == v {
-		reply.Connected, reply.Hops = true, 0
-		return reply, nil
-	}
-	k := qcache.Key{Kind: qcache.KindConnected, A: uint64(u), B: uint64(v)}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			val = e.connValue(view, epoch, u, v)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.connValue(view, epoch, u, v), nil
-			})
-		}
-	}
-	reply.Connected, reply.Hops = val.Flag, int32(val.N1)
-	return reply, nil
+	return ConnReplyFrom(a, r), nil
 }
 
 // connValue executes the early-exiting st-connectivity traversal
@@ -514,23 +569,11 @@ type ComponentsReply struct {
 // nothing per request at the serving config (Workers = 1; the parallel
 // census path still builds per-worker partial counts).
 func (e *Executor) Components() (ComponentsReply, error) {
-	v, epoch, gen, err := e.checkout()
+	r, err := e.Query(SpecComponents, Args{})
 	if err != nil {
 		return ComponentsReply{}, err
 	}
-	defer e.adm.Release()
-	k := qcache.Key{Kind: qcache.KindComponents}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			val = e.componentsValue(v, epoch, false)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.componentsValue(v, epoch, true), nil
-			})
-		}
-	}
-	return ComponentsReply{Components: int(val.N1), LargestSize: int(val.N2), Epoch: epoch}, nil
+	return ComponentsReplyFrom(r), nil
 }
 
 // componentsValue executes the component labeling against the pinned

@@ -70,18 +70,30 @@ func ensureInt32(buf []int32, n int) []int32 {
 // (top-down): direction-optimizing needs a global reverse view no shard
 // has.
 func (sc *Scratch) BFS(views []*csr.Graph, src uint32) ([]int32, int, int) {
-	return sc.bfs(views, src, ^uint32(0))
+	return sc.bfs(views, src, ^uint32(0), -1)
 }
 
 // STConnected reports whether target is reachable from src, and at how
 // many hops, stopping at the first level barrier that claims target.
 func (sc *Scratch) STConnected(views []*csr.Graph, src, target uint32) (hops int32, ok bool) {
-	level, _, _ := sc.bfs(views, src, target)
+	level, _, _ := sc.bfs(views, src, target, -1)
 	h := level[target]
 	return h, h != NotVisited
 }
 
-func (sc *Scratch) bfs(views []*csr.Graph, src uint32, target uint32) ([]int32, int, int) {
+// KHop counts the vertices within k hops of src (src included): the
+// scatter-gather BFS truncated at depth k, so arcs beyond the horizon
+// are never expanded. The level array it leaves in the scratch matches
+// the single-shard engine's stopped traversal bit for bit.
+func (sc *Scratch) KHop(views []*csr.Graph, src uint32, k int32) int {
+	_, reached, _ := sc.bfs(views, src, ^uint32(0), k)
+	return reached
+}
+
+// bfs is the shared scatter-gather traversal core: target (when not
+// ^0) stops it at the first barrier that claims the target, maxDepth
+// (when >= 0) stops it after expanding that many levels.
+func (sc *Scratch) bfs(views []*csr.Graph, src uint32, target uint32, maxDepth int32) ([]int32, int, int) {
 	p := len(views)
 	n := views[0].N
 	sc.ensureExchange(p)
@@ -101,6 +113,9 @@ func (sc *Scratch) bfs(views []*csr.Graph, src uint32, target uint32) ([]int32, 
 
 	reached, levels, size := 1, 0, 1
 	for depth := int32(1); size > 0; depth++ {
+		if maxDepth >= 0 && depth > maxDepth {
+			break
+		}
 		levels++
 		par.Workers(p, func(s int) {
 			g := views[s]

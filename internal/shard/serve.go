@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"snapdyn/internal/cc"
+	"snapdyn/internal/cluster"
 	"snapdyn/internal/csr"
 	"snapdyn/internal/edge"
 	"snapdyn/internal/qcache"
@@ -36,16 +37,34 @@ type Executor struct {
 	// ingest, when set (SetIngest), replaces the direct scatter apply
 	// with a durable commit path (DurableFleet.Ingest).
 	ingest func(batch []edge.Update) (uint64, error)
+
+	// live, when set (EnableLive), is the between-refresh connectivity
+	// index: per-shard dynamic forests fed by Ingest, joined by a
+	// merged union-find for cross-shard answers.
+	live *LiveFleet
 }
 
 var _ qserve.Engine = (*Executor)(nil)
 
 // scratchSet is one pooled unit of sharded kernel state: the
-// scatter-gather arena plus the component census buffer. Only cache
-// misses check one out; hits answer from the generation alone.
+// scatter-gather arena, the component census buffer, the
+// triangle-counting arena, and the power-iteration PageRank state.
+// Only cache misses check one out; hits answer from the generation
+// alone.
 type scratchSet struct {
 	sc    *Scratch
 	sizes []int
+
+	// clus is the triangle-counting arena, lazily built on the first
+	// clustering query.
+	clus *cluster.Scratch
+
+	// PageRank power-iteration state (see analytics.go): the rank
+	// vector, the next iterate as float bits for cross-shard CAS
+	// accumulation, and the per-shard convergence-delta slots.
+	prRank  []float64
+	prNext  []uint64
+	prDelta []float64
 }
 
 // pinSet is the per-query snapshot pin: one view per shard, plus the
@@ -86,9 +105,20 @@ func (e *Executor) NumVertices() int { return e.fleet.NumVertices() }
 // ack.
 func (e *Executor) Ingest(workers int, batch []edge.Update) (uint64, error) {
 	if e.ingest != nil {
-		return e.ingest(batch)
+		epoch, err := e.ingest(batch)
+		if err != nil {
+			return epoch, err
+		}
+		if e.live != nil {
+			e.live.Apply(batch)
+		}
+		return epoch, nil
 	}
-	return e.fleet.IngestEpoch(workers, batch), nil
+	epoch := e.fleet.IngestEpoch(workers, batch)
+	if e.live != nil {
+		e.live.Apply(batch)
+	}
+	return epoch, nil
 }
 
 // SetIngest installs a replacement ingest path (per-shard WAL group
@@ -166,30 +196,6 @@ func (e *Executor) kscratch() *scratchSet {
 
 func (e *Executor) unscratch(s *scratchSet) { e.free <- s }
 
-// BFS runs a scatter-gather breadth-first search from src.
-func (e *Executor) BFS(src uint32) (qserve.BFSReply, error) {
-	p, epoch, gen, err := e.checkout()
-	if err != nil {
-		return qserve.BFSReply{}, err
-	}
-	defer e.release(p)
-	if int(src) >= e.fleet.NumVertices() {
-		return qserve.BFSReply{}, qserve.ErrBadVertex
-	}
-	k := qcache.Key{Kind: qcache.KindBFS, A: uint64(src)}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			val = e.bfsValue(p.views, src, false)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.bfsValue(p.views, src, true), nil
-			})
-		}
-	}
-	return qserve.BFSReply{Src: src, Reached: int(val.N1), Levels: int(val.N2), Epoch: epoch}, nil
-}
-
 func (e *Executor) bfsValue(views []*csr.Graph, src uint32, keep bool) qcache.Value {
 	s := e.kscratch()
 	defer e.unscratch(s)
@@ -199,32 +205,6 @@ func (e *Executor) bfsValue(views []*csr.Graph, src uint32, keep bool) qcache.Va
 		val.Levels = append([]int32(nil), level...)
 	}
 	return val
-}
-
-// SSSP runs sharded delta-stepping from src with arc time labels as
-// weights, like the single-shard engine (delta <= 0 derives the
-// global heuristic width).
-func (e *Executor) SSSP(src uint32, delta int64) (qserve.SSSPReply, error) {
-	p, epoch, gen, err := e.checkout()
-	if err != nil {
-		return qserve.SSSPReply{}, err
-	}
-	defer e.release(p)
-	if int(src) >= e.fleet.NumVertices() {
-		return qserve.SSSPReply{}, qserve.ErrBadVertex
-	}
-	k := qcache.Key{Kind: qcache.KindSSSP, A: uint64(src), B: uint64(delta)}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			val = e.ssspValue(p.views, src, delta, false)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.ssspValue(p.views, src, delta, true), nil
-			})
-		}
-	}
-	return qserve.SSSPReply{Src: src, Reached: int(val.N1), MaxDist: val.N2, Epoch: epoch}, nil
 }
 
 func (e *Executor) ssspValue(views []*csr.Graph, src uint32, delta int64, keep bool) qcache.Value {
@@ -246,37 +226,6 @@ func (e *Executor) ssspValue(views []*csr.Graph, src uint32, delta int64, keep b
 	return val
 }
 
-// Connected answers st-connectivity with an early-exiting
-// scatter-gather traversal from u.
-func (e *Executor) Connected(u, v uint32) (qserve.ConnReply, error) {
-	p, epoch, gen, err := e.checkout()
-	if err != nil {
-		return qserve.ConnReply{}, err
-	}
-	defer e.release(p)
-	if int(u) >= e.fleet.NumVertices() || int(v) >= e.fleet.NumVertices() {
-		return qserve.ConnReply{}, qserve.ErrBadVertex
-	}
-	reply := qserve.ConnReply{U: u, V: v, Epoch: epoch}
-	if u == v {
-		reply.Connected, reply.Hops = true, 0
-		return reply, nil
-	}
-	k := qcache.Key{Kind: qcache.KindConnected, A: uint64(u), B: uint64(v)}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			val = e.connValue(p.views, u, v)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.connValue(p.views, u, v), nil
-			})
-		}
-	}
-	reply.Connected, reply.Hops = val.Flag, int32(val.N1)
-	return reply, nil
-}
-
 func (e *Executor) connValue(views []*csr.Graph, u, v uint32) qcache.Value {
 	s := e.kscratch()
 	defer e.unscratch(s)
@@ -284,28 +233,6 @@ func (e *Executor) connValue(views []*csr.Graph, u, v uint32) qcache.Value {
 		return qcache.Value{Flag: true, N1: int64(hops)}
 	}
 	return qcache.Value{N1: -1}
-}
-
-// Components labels weakly-connected components by cross-shard label
-// merge; the label array and census are pool-owned.
-func (e *Executor) Components() (qserve.ComponentsReply, error) {
-	p, epoch, gen, err := e.checkout()
-	if err != nil {
-		return qserve.ComponentsReply{}, err
-	}
-	defer e.release(p)
-	k := qcache.Key{Kind: qcache.KindComponents}
-	val, ok := gen.Lookup(k)
-	if !ok {
-		if gen == nil {
-			val = e.componentsValue(p.views, false)
-		} else {
-			val, _ = gen.Do(k, func() (qcache.Value, error) {
-				return e.componentsValue(p.views, true), nil
-			})
-		}
-	}
-	return qserve.ComponentsReply{Components: int(val.N1), LargestSize: int(val.N2), Epoch: epoch}, nil
 }
 
 func (e *Executor) componentsValue(views []*csr.Graph, keep bool) qcache.Value {
